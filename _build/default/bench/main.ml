@@ -1,0 +1,468 @@
+(* Experiment harness: regenerates every table and figure of the paper.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe table1     -- device/duration survey (Table I)
+     dune exec bench/main.exe fig8       -- speedup vs SABRE, 4 architectures
+     dune exec bench/main.exe fig9       -- fidelity maintenance
+     dune exec bench/main.exe ablation   -- design-choice ablations
+     dune exec bench/main.exe perf       -- Bechamel router micro-benchmarks
+     dune exec bench/main.exe fig8-fast  -- fig8 on a subset (CI-friendly) *)
+
+let superconducting = Arch.Durations.superconducting
+
+(* ---------------------------------------------------------------- Table I *)
+
+let table1 () =
+  Fmt.pr "@.== Table I: duration profiles (cycles) encoded from the survey ==@.";
+  Fmt.pr "%-16s %6s %6s %6s %9s@." "technology" "1q" "2q" "swap" "measure";
+  List.iter
+    (fun d ->
+      Fmt.pr "%-16s %6d %6d %6d %9d@." (Arch.Durations.name d)
+        (Arch.Durations.one_qubit d) (Arch.Durations.two_qubit d)
+        (Arch.Durations.swap d) (Arch.Durations.measure d))
+    Arch.Durations.all_presets;
+  Fmt.pr "@.== Device zoo (coupling graphs of §V-b) ==@.";
+  Fmt.pr "%-22s %7s %7s %9s %7s@." "device" "qubits" "edges" "diameter"
+    "coords";
+  List.iter
+    (fun c ->
+      let n = Arch.Coupling.n_qubits c in
+      let diameter = ref 0 in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let d = Arch.Coupling.distance c i j in
+          if d <> max_int && d > !diameter then diameter := d
+        done
+      done;
+      Fmt.pr "%-22s %7d %7d %9d %7b@." (Arch.Coupling.name c) n
+        (List.length (Arch.Coupling.edges c))
+        !diameter
+        (Arch.Coupling.coords c <> None))
+    (Arch.Devices.evaluation_devices @ [ Arch.Devices.ibm_q5 ])
+
+(* ----------------------------------------------------------------- Fig. 8 *)
+
+let geometric_mean = function
+  | [] -> nan
+  | xs ->
+    exp (List.fold_left (fun acc x -> acc +. log x) 0. xs
+         /. float_of_int (List.length xs))
+
+let arithmetic_mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let route_pair maqam circuit =
+  let initial = Sabre.Initial_mapping.reverse_traversal ~maqam circuit in
+  let codar = Codar.Remapper.run ~maqam ~initial circuit in
+  let sabre = Sabre.Router.run ~maqam ~initial circuit in
+  (codar, sabre)
+
+let paper_fig8 =
+  [
+    ("ibm-q16-melbourne", 1.212);
+    ("enfield-6x6", 1.241);
+    ("ibm-q20-tokyo", 1.214);
+    ("google-q54-sycamore", 1.258);
+  ]
+
+let fig8_entries device =
+  (* the paper runs the three 36-qubit programs only on Google Q54 *)
+  if Arch.Coupling.n_qubits device >= 54 then Workloads.Suite.all
+  else Workloads.Suite.fitting ~max_qubits:16
+
+let fig8 ?(fast = false) () =
+  Fmt.pr "@.== Fig. 8: speedup ratio (SABRE weighted depth / CODAR weighted \
+          depth) ==@.";
+  let summary = ref [] in
+  List.iter
+    (fun device ->
+      let maqam = Arch.Maqam.make ~coupling:device ~durations:superconducting in
+      let entries = fig8_entries device in
+      let entries =
+        if fast then
+          List.filter
+            (fun (e : Workloads.Suite.entry) ->
+              e.n_qubits <= 10 && e.name <> "rand_16_30k")
+            entries
+        else entries
+      in
+      Fmt.pr "@.-- %s (%d benchmarks) --@." (Arch.Coupling.name device)
+        (List.length entries);
+      Fmt.pr "%-16s %4s %7s %9s %9s %8s@." "benchmark" "n" "gates" "codar"
+        "sabre" "speedup";
+      let speedups =
+        List.map
+          (fun (e : Workloads.Suite.entry) ->
+            let c = Lazy.force e.circuit in
+            let codar, sabre = route_pair maqam c in
+            let sp =
+              float_of_int sabre.Schedule.Routed.makespan
+              /. float_of_int codar.Schedule.Routed.makespan
+            in
+            Fmt.pr "%-16s %4d %7d %9d %9d %8.3f@." e.name e.n_qubits
+              (Qc.Circuit.length c) codar.Schedule.Routed.makespan
+              sabre.Schedule.Routed.makespan sp;
+            sp)
+          entries
+      in
+      let avg = arithmetic_mean speedups in
+      let gm = geometric_mean speedups in
+      Fmt.pr "average speedup: %.3f (geometric %.3f)@." avg gm;
+      summary := (Arch.Coupling.name device, avg) :: !summary)
+    Arch.Devices.evaluation_devices;
+  Fmt.pr "@.-- Fig. 8 summary (paper vs measured average speedup) --@.";
+  Fmt.pr "%-22s %8s %9s@." "architecture" "paper" "measured";
+  List.iter
+    (fun (name, paper) ->
+      let measured = List.assoc_opt name !summary in
+      Fmt.pr "%-22s %8.3f %9s@." name paper
+        (match measured with Some m -> Fmt.str "%.3f" m | None -> "-"))
+    paper_fig8
+
+(* ----------------------------------------------------------------- Fig. 9 *)
+
+let fig9 () =
+  Fmt.pr "@.== Fig. 9: fidelity of 7 algorithms under scheduled noise ==@.";
+  let device = Arch.Devices.grid ~rows:3 ~cols:3 in
+  let maqam = Arch.Maqam.make ~coupling:device ~durations:superconducting in
+  let models =
+    [
+      ("dephasing-dominant", Sim.Noise.dephasing_dominant ~t2:300.);
+      ("damping-dominant", Sim.Noise.damping_dominant ~t1:300.);
+    ]
+  in
+  List.iter
+    (fun (mname, model) ->
+      Fmt.pr "@.-- %s (T1=∞ or T2-limited, 3x3 grid, 30 trajectories) --@."
+        mname;
+      Fmt.pr "%-10s %9s %9s %10s %10s@." "algorithm" "codar" "sabre"
+        "f(codar)" "f(sabre)";
+      List.iter
+        (fun (a : Workloads.Algorithms.named) ->
+          let codar, sabre = route_pair maqam a.circuit in
+          let f r =
+            Sim.Noise.fidelity ~trajectories:30 model ~maqam
+              ~original:a.circuit r
+          in
+          Fmt.pr "%-10s %9d %9d %10.4f %10.4f@." a.name
+            codar.Schedule.Routed.makespan sabre.Schedule.Routed.makespan
+            (f codar) (f sabre))
+        Workloads.Algorithms.all)
+    models
+
+(* --------------------------------------------------------------- Ablation *)
+
+let ablation () =
+  Fmt.pr "@.== Ablation: CODAR design knobs (IBM Q20 Tokyo) ==@.";
+  let maqam =
+    Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo
+      ~durations:superconducting
+  in
+  let subset =
+    [ "qft_8"; "qft_12"; "qft_16"; "oracle_8"; "oracle_12"; "tof_8";
+      "adder_10"; "qaoa_12"; "dj_10"; "wstate_12" ]
+  in
+  let circuits =
+    List.filter_map
+      (fun n -> Option.map (fun (e : Workloads.Suite.entry) ->
+           (n, Lazy.force e.circuit)) (Workloads.Suite.find n))
+      subset
+  in
+  let variants =
+    [
+      ("default (window=200)", Codar.Remapper.default_config);
+      ("window=10", { Codar.Remapper.default_config with window = 10 });
+      ("window=50", { Codar.Remapper.default_config with window = 50 });
+      ("no commutativity",
+       { Codar.Remapper.default_config with use_commutativity = false });
+      ("no Hfine", { Codar.Remapper.default_config with use_fine = false });
+    ]
+  in
+  Fmt.pr "%-22s %s@." "variant" "avg speedup vs SABRE";
+  List.iter
+    (fun (vname, config) ->
+      let speedups =
+        List.map
+          (fun (_, c) ->
+            let initial =
+              Sabre.Initial_mapping.reverse_traversal ~maqam c
+            in
+            let codar = Codar.Remapper.run ~config ~maqam ~initial c in
+            let sabre = Sabre.Router.run ~maqam ~initial c in
+            float_of_int sabre.Schedule.Routed.makespan
+            /. float_of_int codar.Schedule.Routed.makespan)
+          circuits
+      in
+      Fmt.pr "%-22s %.3f@." vname (arithmetic_mean speedups))
+    variants;
+  Fmt.pr "@.-- duration profile sensitivity (same subset, default CODAR) --@.";
+  List.iter
+    (fun durations ->
+      let maqam =
+        Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo ~durations
+      in
+      let speedups =
+        List.map
+          (fun (_, c) ->
+            let initial = Sabre.Initial_mapping.reverse_traversal ~maqam c in
+            let codar = Codar.Remapper.run ~maqam ~initial c in
+            let sabre = Sabre.Router.run ~maqam ~initial c in
+            float_of_int sabre.Schedule.Routed.makespan
+            /. float_of_int codar.Schedule.Routed.makespan)
+          circuits
+      in
+      Fmt.pr "%-22s %.3f@." (Arch.Durations.name durations)
+        (arithmetic_mean speedups))
+    Arch.Durations.all_presets
+
+(* ------------------------------------------------ Initial-mapping study *)
+
+let initmap () =
+  Fmt.pr "@.== Initial-mapping strategies (CODAR, IBM Q20 Tokyo) ==@.";
+  Fmt.pr "   (the paper uses SABRE's reverse traversal for both routers; this\n\
+          \    quantifies how much that choice matters)@.";
+  let maqam =
+    Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo
+      ~durations:superconducting
+  in
+  let subset =
+    [ "qft_8"; "qft_12"; "oracle_10"; "adder_10"; "qaoa_12"; "dj_10";
+      "wstate_12"; "tof_8" ]
+  in
+  let circuits =
+    List.filter_map
+      (fun n ->
+        Option.map
+          (fun (e : Workloads.Suite.entry) -> (n, Lazy.force e.circuit))
+          (Workloads.Suite.find n))
+      subset
+  in
+  Fmt.pr "%-14s %s@." "strategy" "avg makespan (lower is better)";
+  List.iter
+    (fun strategy ->
+      let total =
+        List.fold_left
+          (fun acc (_, c) ->
+            let initial = Placement.compute strategy ~maqam c in
+            acc
+            + (Codar.Remapper.run ~maqam ~initial c).Schedule.Routed.makespan)
+          0 circuits
+      in
+      Fmt.pr "%-14s %.1f@." (Placement.name strategy)
+        (float_of_int total /. float_of_int (List.length circuits)))
+    Placement.all
+
+(* -------------------------------------------------- SWAP-overhead study *)
+
+let swaps () =
+  Fmt.pr "@.== SWAP overhead: CODAR trades SWAP count for parallelism \
+          (§V-B) ==@.";
+  Fmt.pr "%-22s %14s %14s %13s %13s@." "architecture" "codar swaps"
+    "sabre swaps" "codar par." "sabre par.";
+  List.iter
+    (fun device ->
+      let maqam = Arch.Maqam.make ~coupling:device ~durations:superconducting in
+      let n_physical = Arch.Coupling.n_qubits device in
+      let entries =
+        List.filter
+          (fun (e : Workloads.Suite.entry) ->
+            e.n_qubits <= 12 && e.n_qubits >= 6)
+          (fig8_entries device)
+      in
+      let totals =
+        List.fold_left
+          (fun (cs, ss, cp, sp, k) (e : Workloads.Suite.entry) ->
+            let c = Lazy.force e.circuit in
+            let codar, sabre = route_pair maqam c in
+            let stat r = Schedule.Stats.of_routed ~n_physical ~original:c r in
+            ( cs + Schedule.Routed.swap_count codar,
+              ss + Schedule.Routed.swap_count sabre,
+              cp +. (stat codar).Schedule.Stats.parallelism,
+              sp +. (stat sabre).Schedule.Stats.parallelism,
+              k + 1 ))
+          (0, 0, 0., 0., 0) entries
+      in
+      let cs, ss, cp, sp, k = totals in
+      let fk = float_of_int k in
+      Fmt.pr "%-22s %14d %14d %13.2f %13.2f@." (Arch.Coupling.name device) cs
+        ss (cp /. fk) (sp /. fk))
+    Arch.Devices.evaluation_devices
+
+(* ------------------------------------------------------ Baseline routers *)
+
+let baselines () =
+  Fmt.pr "@.== Three-router comparison (weighted depth, IBM Q20 Tokyo) ==@.";
+  Fmt.pr "   (CODAR vs SABRE vs a Zulehner-style layered A* mapper)@.";
+  let maqam =
+    Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo
+      ~durations:superconducting
+  in
+  Fmt.pr "%-14s %9s %9s %9s@." "benchmark" "codar" "sabre" "astar";
+  let totals = ref (0, 0, 0) in
+  List.iter
+    (fun name ->
+      match Workloads.Suite.find name with
+      | None -> ()
+      | Some e ->
+        let c = Lazy.force e.circuit in
+        let initial = Sabre.Initial_mapping.reverse_traversal ~maqam c in
+        let codar = Codar.Remapper.run ~maqam ~initial c in
+        let sabre = Sabre.Router.run ~maqam ~initial c in
+        let astar = Astar.Router.run ~maqam ~initial c in
+        let mc, ms, ma =
+          ( codar.Schedule.Routed.makespan,
+            sabre.Schedule.Routed.makespan,
+            astar.Schedule.Routed.makespan )
+        in
+        let tc, ts, ta = !totals in
+        totals := (tc + mc, ts + ms, ta + ma);
+        Fmt.pr "%-14s %9d %9d %9d@." name mc ms ma)
+    [ "qft_8"; "qft_12"; "qft_16"; "oracle_10"; "adder_10"; "tof_8";
+      "qaoa_12"; "dj_10"; "wstate_12"; "simon_10" ];
+  let tc, ts, ta = !totals in
+  Fmt.pr "%-14s %9d %9d %9d@." "total" tc ts ta
+
+(* ----------------------------------------- Estimated success probability *)
+
+let esp () =
+  Fmt.pr "@.== Estimated success probability (analytic ESP; scales Fig. 9 \
+          to the full suite) ==@.";
+  let maqam =
+    Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo
+      ~durations:superconducting
+  in
+  let calibration = Arch.Calibration.superconducting in
+  Fmt.pr "calibration: %a@." Arch.Calibration.pp calibration;
+  Fmt.pr "%-14s %12s %12s %9s@." "benchmark" "esp(codar)" "esp(sabre)"
+    "ratio";
+  let wins = ref 0 and count = ref 0 in
+  List.iter
+    (fun (e : Workloads.Suite.entry) ->
+      (* restrict to circuits where ESP stays meaningfully above zero *)
+      if e.n_qubits <= 12 && e.name <> "rand_16_30k" then begin
+        let c = Lazy.force e.circuit in
+        if Qc.Circuit.length c <= 200 then begin
+          let codar, sabre = route_pair maqam c in
+          let esp r =
+            Sim.Reliability.estimated_success ~calibration ~n_physical:20 r
+          in
+          let ec = esp codar and es = esp sabre in
+          incr count;
+          if ec >= es then incr wins;
+          Fmt.pr "%-14s %12.4f %12.4f %9.3f@." e.name ec es (ec /. es)
+        end
+      end)
+    Workloads.Suite.all;
+  Fmt.pr "CODAR wins or ties on %d / %d@." !wins !count
+
+(* ------------------------------------------------------------------- Perf *)
+
+let perf () =
+  Fmt.pr "@.== Bechamel micro-benchmarks (one per experiment driver) ==@.";
+  let open Bechamel in
+  let tokyo =
+    Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo
+      ~durations:superconducting
+  in
+  let grid33 =
+    Arch.Maqam.make ~coupling:(Arch.Devices.grid ~rows:3 ~cols:3)
+      ~durations:superconducting
+  in
+  let qft8 = Workloads.Builders.qft 8 in
+  let qft5 = Workloads.Builders.qft 5 in
+  let initial8 = Sabre.Initial_mapping.reverse_traversal ~maqam:tokyo qft8 in
+  let initial5 = Sabre.Initial_mapping.reverse_traversal ~maqam:grid33 qft5 in
+  let routed5 = Codar.Remapper.run ~maqam:grid33 ~initial:initial5 qft5 in
+  let gates = Qc.Circuit.gate_array (Workloads.Builders.qft 10) in
+  let issued = Array.make (Array.length gates) false in
+  let tests =
+    [
+      (* Fig. 8 inner loop: one CODAR routing pass *)
+      Test.make ~name:"fig8/codar-route-qft8-tokyo"
+        (Staged.stage (fun () ->
+             ignore (Codar.Remapper.run ~maqam:tokyo ~initial:initial8 qft8)));
+      (* Fig. 8 baseline: one SABRE routing pass *)
+      Test.make ~name:"fig8/sabre-route-qft8-tokyo"
+        (Staged.stage (fun () ->
+             ignore (Sabre.Router.run ~maqam:tokyo ~initial:initial8 qft8)));
+      (* Fig. 9 inner loop: one noisy trajectory *)
+      Test.make ~name:"fig9/noisy-trajectory-qft5"
+        (Staged.stage
+           (let rng = Random.State.make [| 1 |] in
+            let input =
+              Sim.Statevector.embed (Sim.Statevector.init 5) ~n_physical:9
+                ~place:(Arch.Layout.phys_of_log routed5.Schedule.Routed.initial)
+            in
+            fun () ->
+              ignore
+                (Sim.Noise.run_trajectory ~rng
+                   (Sim.Noise.dephasing_dominant ~t2:300.)
+                   ~n_physical:9 ~input routed5)));
+      (* Table II machinery: commutative-front extraction *)
+      Test.make ~name:"core/cf-front-qft10"
+        (Staged.stage (fun () ->
+             ignore
+               (Codar.Cf_front.compute ~commutes:Qc.Commute.commutes ~gates
+                  ~issued 0)));
+      (* Table II machinery: distance matrix construction *)
+      Test.make ~name:"core/coupling-sycamore"
+        (Staged.stage (fun () ->
+             ignore
+               (Arch.Coupling.make ~name:"s" ~n:54
+                  (Arch.Coupling.edges Arch.Devices.sycamore_54))));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test
+      in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Fmt.pr "%-32s %12.0f ns/run@." name est
+          | Some _ | None -> Fmt.pr "%-32s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ main *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let t0 = Unix.gettimeofday () in
+  (match args with
+  | [] | [ "all" ] ->
+    table1 ();
+    fig8 ();
+    fig9 ();
+    ablation ();
+    initmap ();
+    swaps ();
+    baselines ();
+    esp ();
+    perf ()
+  | [ "table1" ] -> table1 ()
+  | [ "fig8" ] -> fig8 ()
+  | [ "fig8-fast" ] -> fig8 ~fast:true ()
+  | [ "fig9" ] -> fig9 ()
+  | [ "ablation" ] -> ablation ()
+  | [ "initmap" ] -> initmap ()
+  | [ "swaps" ] -> swaps ()
+  | [ "baselines" ] -> baselines ()
+  | [ "esp" ] -> esp ()
+  | [ "perf" ] -> perf ()
+  | _ ->
+    Fmt.epr
+      "usage: main.exe \
+       [all|table1|fig8|fig8-fast|fig9|ablation|initmap|swaps|baselines|esp|\
+       perf]@.";
+    exit 2);
+  Fmt.pr "@.(total wall time: %.1fs)@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,181 @@
+(* codar — map OpenQASM circuits onto NISQ devices with CODAR or SABRE. *)
+
+open Cmdliner
+
+let durations_of_string = function
+  | "sc" | "superconducting" -> Ok Arch.Durations.superconducting
+  | "ion" | "ion-trap" -> Ok Arch.Durations.ion_trap
+  | "atom" | "neutral-atom" -> Ok Arch.Durations.neutral_atom
+  | "uniform" -> Ok Arch.Durations.uniform
+  | s -> Error (`Msg (Fmt.str "unknown duration profile %S" s))
+
+let arch_conv =
+  let parse s =
+    match Arch.Devices.by_name s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Fmt.str "unknown architecture %S" s))
+  in
+  Arg.conv (parse, fun ppf c -> Fmt.string ppf (Arch.Coupling.name c))
+
+let durations_conv =
+  Arg.conv
+    ( durations_of_string,
+      fun ppf d -> Fmt.string ppf (Arch.Durations.name d) )
+
+let load_circuit input bench =
+  match (input, bench) with
+  | Some path, None -> Qasm.Parser.parse_file path
+  | None, Some name -> (
+    match Workloads.Suite.find name with
+    | Some e -> Lazy.force e.circuit
+    | None -> Fmt.failwith "unknown benchmark %S (see `codar_cli benchmarks`)" name)
+  | Some _, Some _ -> Fmt.failwith "--input and --bench are exclusive"
+  | None, None -> Fmt.failwith "one of --input or --bench is required"
+
+let route router maqam initial circuit =
+  match router with
+  | `Codar -> Codar.Remapper.run ~maqam ~initial circuit
+  | `Sabre -> Sabre.Router.run ~maqam ~initial circuit
+  | `Astar -> Astar.Router.run ~maqam ~initial circuit
+
+let map_cmd =
+  let input =
+    Arg.(value & opt (some file) None & info [ "input"; "i" ] ~doc:"OpenQASM input file.")
+  in
+  let bench =
+    Arg.(value & opt (some string) None & info [ "bench"; "b" ] ~doc:"Built-in benchmark name.")
+  in
+  let arch =
+    Arg.(value & opt arch_conv Arch.Devices.ibm_q20_tokyo
+         & info [ "arch"; "a" ] ~doc:"Target device (melbourne, tokyo, 6x6, sycamore, q5, linear-N, grid-RxC, full-N).")
+  in
+  let durations =
+    Arg.(value & opt durations_conv Arch.Durations.superconducting
+         & info [ "durations"; "d" ] ~doc:"Duration profile: sc, ion, atom, uniform.")
+  in
+  let router =
+    Arg.(value
+         & opt (enum [ ("codar", `Codar); ("sabre", `Sabre); ("astar", `Astar) ])
+             `Codar
+         & info [ "router"; "r" ] ~doc:"Routing algorithm: codar, sabre, astar.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Write routed OpenQASM here.")
+  in
+  let verify = Arg.(value & flag & info [ "verify" ] ~doc:"Run semantic verification.") in
+  let timeline = Arg.(value & flag & info [ "timeline" ] ~doc:"Print the event timeline.") in
+  let compare_ = Arg.(value & flag & info [ "compare" ] ~doc:"Also run the other router and report the speedup.") in
+  let placement_conv =
+    let parse s =
+      match Placement.of_name s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Fmt.str "unknown placement strategy %S" s))
+    in
+    Arg.conv (parse, fun ppf p -> Fmt.string ppf (Placement.name p))
+  in
+  let placement =
+    Arg.(value & opt placement_conv (Placement.Reverse_traversal 1)
+         & info [ "placement"; "p" ]
+             ~doc:"Initial mapping: trivial, random[-seed], degree, sabre[-k].")
+  in
+  let optimize =
+    Arg.(value & flag
+         & info [ "optimize"; "O" ] ~doc:"Peephole-optimise before routing.")
+  in
+  let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print schedule statistics.") in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~doc:"Write the timeline as CSV here.")
+  in
+  let run input bench arch durations router output verify timeline compare_
+      placement optimize gantt stats csv =
+    let circuit = load_circuit input bench in
+    let circuit = if optimize then Qc.Optimize.optimize circuit else circuit in
+    let maqam = Arch.Maqam.make ~coupling:arch ~durations in
+    let initial = Placement.compute placement ~maqam circuit in
+    let result = route router maqam initial circuit in
+    Fmt.pr "device:        %s (%d qubits)@." (Arch.Coupling.name arch)
+      (Arch.Coupling.n_qubits arch);
+    Fmt.pr "durations:     %a@." Arch.Durations.pp durations;
+    Fmt.pr "input:         %d gates, %d qubits, weighted depth (unrouted) %d@."
+      (Qc.Circuit.length circuit) (Qc.Circuit.n_qubits circuit)
+      (Qc.Metrics.weighted_depth ~weight:(Arch.Durations.of_gate durations) circuit);
+    Fmt.pr "routed:        %d events, %d swaps, makespan %d@."
+      (Schedule.Routed.gate_count result)
+      (Schedule.Routed.swap_count result)
+      result.Schedule.Routed.makespan;
+    if compare_ then begin
+      let other =
+        match router with `Codar -> `Sabre | `Sabre | `Astar -> `Codar
+      in
+      let o = route other maqam initial circuit in
+      let name = match other with `Codar -> "codar" | `Sabre -> "sabre" | `Astar -> "astar" in
+      Fmt.pr "%s makespan: %d (ratio %.3f)@." name o.Schedule.Routed.makespan
+        (float_of_int o.Schedule.Routed.makespan
+        /. float_of_int result.Schedule.Routed.makespan)
+    end;
+    if verify then begin
+      match Schedule.Verify.check_all ~maqam ~original:circuit result with
+      | Ok () -> Fmt.pr "verify:        OK@."
+      | Error e ->
+        Fmt.pr "verify:        FAILED: %a@." Schedule.Verify.pp_error e;
+        exit 1
+    end;
+    if timeline then Fmt.pr "%a@." Schedule.Routed.pp result;
+    let n_physical = Arch.Coupling.n_qubits arch in
+    if stats then
+      Fmt.pr "stats:         %a@." Schedule.Stats.pp
+        (Schedule.Stats.of_routed ~n_physical ~original:circuit result);
+    if gantt then
+      Fmt.pr "%a@." (Schedule.Stats.pp_gantt ?width:None ~n_physical) result;
+    (match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Schedule.Stats.to_csv result);
+      close_out oc;
+      Fmt.pr "wrote %s@." path);
+    match output with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Qasm.Printer.to_channel oc
+        (Schedule.Routed.to_physical_circuit
+           ~n_physical:(Arch.Coupling.n_qubits arch) result);
+      close_out oc;
+      Fmt.pr "wrote %s@." path
+  in
+  Cmd.v (Cmd.info "map" ~doc:"Route a circuit onto a device.")
+    Term.(const run $ input $ bench $ arch $ durations $ router $ output
+          $ verify $ timeline $ compare_ $ placement $ optimize $ gantt
+          $ stats $ csv)
+
+let devices_cmd =
+  let run () =
+    List.iter
+      (fun c ->
+        Fmt.pr "%-22s %3d qubits  %3d edges  coords:%b@." (Arch.Coupling.name c)
+          (Arch.Coupling.n_qubits c)
+          (List.length (Arch.Coupling.edges c))
+          (Arch.Coupling.coords c <> None))
+      (Arch.Devices.evaluation_devices
+      @ [ Arch.Devices.ibm_q5; Arch.Devices.linear 8; Arch.Devices.fully_connected 11 ])
+  in
+  Cmd.v (Cmd.info "devices" ~doc:"List known devices.") Term.(const run $ const ())
+
+let benchmarks_cmd =
+  let run () =
+    List.iter
+      (fun (e : Workloads.Suite.entry) ->
+        Fmt.pr "%-16s %-8s %3d qubits@." e.name e.family e.n_qubits)
+      Workloads.Suite.all;
+    Fmt.pr "total: %d benchmarks@." (List.length Workloads.Suite.all)
+  in
+  Cmd.v (Cmd.info "benchmarks" ~doc:"List the 71-benchmark suite.")
+    Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "codar_cli" ~version:"1.0.0"
+      ~doc:"Contextual duration-aware qubit mapping (CODAR, DAC 2020)." in
+  exit (Cmd.eval (Cmd.group info [ map_cmd; devices_cmd; benchmarks_cmd ]))

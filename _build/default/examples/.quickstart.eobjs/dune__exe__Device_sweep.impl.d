@@ -1,0 +1,1 @@
+examples/device_sweep.ml: Arch Codar Fmt List Qc Sabre Schedule Workloads

@@ -1,0 +1,1 @@
+examples/fidelity_demo.ml: Arch Codar Fmt Sabre Schedule Sim Workloads

@@ -1,0 +1,1 @@
+examples/fidelity_demo.mli:

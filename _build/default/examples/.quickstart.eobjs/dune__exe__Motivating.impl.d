@@ -1,0 +1,1 @@
+examples/motivating.ml: Arch Codar Fmt List Qc Schedule

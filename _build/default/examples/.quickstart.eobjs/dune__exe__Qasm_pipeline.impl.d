@@ -1,0 +1,1 @@
+examples/qasm_pipeline.ml: Arch Array Codar Filename Fmt List Qasm Qc Sabre Schedule String Sys

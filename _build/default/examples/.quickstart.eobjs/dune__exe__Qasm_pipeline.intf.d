@@ -1,0 +1,1 @@
+examples/qasm_pipeline.mli:

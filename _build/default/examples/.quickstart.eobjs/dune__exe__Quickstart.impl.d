@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Codar Fmt List Qasm Qc Sabre Schedule String Workloads

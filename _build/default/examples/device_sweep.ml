@@ -1,0 +1,31 @@
+(* Route one workload across the whole device zoo and every duration
+   profile — the "multi-architecture" in maQAM. Run with:
+   dune exec examples/device_sweep.exe *)
+
+let () =
+  let circuit = Workloads.Builders.qft 8 in
+  Fmt.pr "workload: 8-qubit QFT (%d gates)@.@." (Qc.Circuit.length circuit);
+  Fmt.pr "%-22s %-15s %9s %9s %7s@." "device" "durations" "codar" "sabre"
+    "speedup";
+  let wide_enough d =
+    Arch.Coupling.n_qubits d >= Qc.Circuit.n_qubits circuit
+  in
+  List.iter
+    (fun device ->
+      List.iter
+        (fun durations ->
+          let maqam = Arch.Maqam.make ~coupling:device ~durations in
+          let initial =
+            Sabre.Initial_mapping.reverse_traversal ~maqam circuit
+          in
+          let codar = Codar.Remapper.run ~maqam ~initial circuit in
+          let sabre = Sabre.Router.run ~maqam ~initial circuit in
+          Fmt.pr "%-22s %-15s %9d %9d %7.3f@." (Arch.Coupling.name device)
+            (Arch.Durations.name durations) codar.Schedule.Routed.makespan
+            sabre.Schedule.Routed.makespan
+            (float_of_int sabre.Schedule.Routed.makespan
+            /. float_of_int codar.Schedule.Routed.makespan))
+        Arch.Durations.all_presets)
+    (List.filter wide_enough
+       (Arch.Devices.evaluation_devices
+       @ [ Arch.Devices.ibm_q5; Arch.Devices.fully_connected 11 ]))

@@ -1,0 +1,14 @@
+// GHZ preparation followed by parameterised rotations — exercises angle
+// expressions and every rotation builtin.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+rz(pi/3) q[0];
+rx(-pi/7) q[1];
+ry(0.25 * pi + 0.1) q[2];
+u3(pi/2, -pi/4, pi/4) q[0];
+rzz(pi/6) q[0], q[1];
+crz(pi/5) q[1], q[2];

@@ -1,0 +1,17 @@
+// A small reversible oracle: Toffolis (expanded by the reader), a user
+// gate macro, and register broadcast.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate majority a, b, c {
+  cx c, b;
+  cx c, a;
+  ccx a, b, c;
+}
+qreg q[5];
+creg c[5];
+x q[0];
+x q[2];
+majority q[0], q[1], q[2];
+ccx q[2], q[3], q[4];
+majority q[0], q[1], q[2];
+measure q -> c;

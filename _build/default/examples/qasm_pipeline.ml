@@ -1,0 +1,40 @@
+(* Drive the full OpenQASM pipeline from the sample corpus: parse each
+   file, optimise, route onto IBM Q20 Tokyo with CODAR, verify, and report.
+   Run with: dune exec examples/qasm_pipeline.exe *)
+
+let corpus_dir = "examples/qasm"
+
+let () =
+  let maqam =
+    Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo
+      ~durations:Arch.Durations.superconducting
+  in
+  let files =
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".qasm")
+    |> List.sort String.compare
+  in
+  if files = [] then
+    Fmt.epr "no .qasm files under %s — run from the repository root@."
+      corpus_dir;
+  List.iter
+    (fun file ->
+      let path = Filename.concat corpus_dir file in
+      let circuit = Qasm.Parser.parse_file path in
+      let optimized = Qc.Optimize.optimize circuit in
+      let initial = Sabre.Initial_mapping.reverse_traversal ~maqam optimized in
+      let routed = Codar.Remapper.run ~maqam ~initial optimized in
+      let verdict =
+        match Schedule.Verify.check_all ~maqam ~original:optimized routed with
+        | Ok () -> "OK"
+        | Error e -> Fmt.str "FAILED (%a)" Schedule.Verify.pp_error e
+      in
+      Fmt.pr
+        "%-22s %3d gates (%3d after peephole) -> %3d events, %2d swaps, \
+         makespan %4d, verify %s@."
+        file (Qc.Circuit.length circuit)
+        (Qc.Circuit.length optimized)
+        (Schedule.Routed.gate_count routed)
+        (Schedule.Routed.swap_count routed)
+        routed.Schedule.Routed.makespan verdict)
+    files

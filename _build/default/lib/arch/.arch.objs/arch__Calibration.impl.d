@@ -1,0 +1,1 @@
+lib/arch/calibration.ml: Fmt Qc

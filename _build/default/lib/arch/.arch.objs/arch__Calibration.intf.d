@@ -1,0 +1,1 @@
+lib/arch/calibration.mli: Format Qc

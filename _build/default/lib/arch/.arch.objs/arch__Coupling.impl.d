@@ -1,0 +1,1 @@
+lib/arch/coupling.ml: Array Float Fmt List Option Queue Stdlib

@@ -1,0 +1,1 @@
+lib/arch/coupling.mli: Format

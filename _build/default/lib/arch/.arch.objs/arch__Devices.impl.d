@@ -1,0 +1,1 @@
+lib/arch/devices.ml: Array Coupling Float Fmt List Option String

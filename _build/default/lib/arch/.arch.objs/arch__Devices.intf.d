@@ -1,0 +1,1 @@
+lib/arch/devices.mli: Coupling

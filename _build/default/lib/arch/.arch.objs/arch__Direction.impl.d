@@ -1,0 +1,1 @@
+lib/arch/direction.ml: Coupling Devices Fmt Hashtbl List Qc

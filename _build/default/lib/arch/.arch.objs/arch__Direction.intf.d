@@ -1,0 +1,1 @@
+lib/arch/direction.mli: Coupling Qc

@@ -1,0 +1,1 @@
+lib/arch/durations.ml: Fmt Qc

@@ -1,0 +1,1 @@
+lib/arch/durations.mli: Format Qc

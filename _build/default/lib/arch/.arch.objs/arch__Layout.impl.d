@@ -1,0 +1,1 @@
+lib/arch/layout.ml: Array Fmt Fun Random

@@ -1,0 +1,1 @@
+lib/arch/layout.mli: Format Random

@@ -1,0 +1,1 @@
+lib/arch/maqam.ml: Coupling Durations Fmt Layout Qc

@@ -1,0 +1,1 @@
+lib/arch/maqam.mli: Coupling Durations Format Layout Qc

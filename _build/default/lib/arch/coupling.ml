@@ -1,0 +1,84 @@
+type t = {
+  name : string;
+  n : int;
+  adj : int list array;
+  edges : (int * int) list;
+  dist : int array array;
+  coords : (float * float) array option;
+}
+
+let bfs_distances n adj src =
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  dist
+
+let make ?coords ~name ~n edge_list =
+  if n < 0 then invalid_arg "Coupling.make: negative qubit count";
+  (match coords with
+  | Some a when Array.length a <> n ->
+    invalid_arg "Coupling.make: coords length mismatch"
+  | Some _ | None -> ());
+  let norm (a, b) =
+    if a < 0 || a >= n || b < 0 || b >= n then
+      invalid_arg (Fmt.str "Coupling.make: edge (%d,%d) out of range" a b);
+    if a = b then
+      invalid_arg (Fmt.str "Coupling.make: self-loop on qubit %d" a);
+    (min a b, max a b)
+  in
+  let edges = List.sort_uniq Stdlib.compare (List.map norm edge_list) in
+  if List.length edges <> List.length edge_list then
+    invalid_arg "Coupling.make: duplicate edge";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    edges;
+  Array.iteri (fun i l -> adj.(i) <- List.sort Stdlib.compare l) adj;
+  let dist = Array.init n (fun src -> bfs_distances n adj src) in
+  { name; n; adj; edges; dist; coords }
+
+let name t = t.name
+let n_qubits t = t.n
+let edges t = t.edges
+let neighbors t q = t.adj.(q)
+let degree t q = List.length t.adj.(q)
+
+let adjacent t a b = a <> b && List.mem b t.adj.(a)
+
+let distance t a b = t.dist.(a).(b)
+
+let connected t =
+  t.n = 0 || Array.for_all (fun d -> d <> max_int) t.dist.(0)
+
+let coords t = t.coords
+let coord t q = Option.map (fun a -> a.(q)) t.coords
+
+let horizontal_distance t a b =
+  match t.coords with
+  | None -> None
+  | Some cs ->
+    let xa, _ = cs.(a) and xb, _ = cs.(b) in
+    Some (Float.abs (xa -. xb))
+
+let vertical_distance t a b =
+  match t.coords with
+  | None -> None
+  | Some cs ->
+    let _, ya = cs.(a) and _, yb = cs.(b) in
+    Some (Float.abs (ya -. yb))
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %d qubits, %d edges" t.name t.n (List.length t.edges)

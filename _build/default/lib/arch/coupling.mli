@@ -1,0 +1,41 @@
+(** Undirected coupling graph of a quantum device (the [M = (QH, EH)] of the
+    paper's maQAM, Table II), with the all-pairs shortest-path matrix [D]
+    precomputed by BFS.
+
+    Two-qubit gates may only execute on qubit pairs joined by an edge.
+    Optional planar coordinates per qubit power CODAR's [Hfine] lattice
+    tiebreak. *)
+
+type t
+
+val make :
+  ?coords:(float * float) array -> name:string -> n:int ->
+  (int * int) list -> t
+(** [make ~name ~n edges] builds the graph. Edges are undirected; duplicates
+    and self-loops are rejected, as are out-of-range endpoints. [coords],
+    when given, must have length [n]. *)
+
+val name : t -> string
+val n_qubits : t -> int
+
+val edges : t -> (int * int) list
+(** Normalised: each as [(lo, hi)], sorted, no duplicates. *)
+
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+val adjacent : t -> int -> int -> bool
+
+val distance : t -> int -> int -> int
+(** Shortest path length in edges; [max_int] when disconnected. *)
+
+val connected : t -> bool
+
+val coords : t -> (float * float) array option
+val coord : t -> int -> (float * float) option
+
+val horizontal_distance : t -> int -> int -> float option
+(** [|x1 - x2|] when coordinates are available. *)
+
+val vertical_distance : t -> int -> int -> float option
+
+val pp : Format.formatter -> t -> unit

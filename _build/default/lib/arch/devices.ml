@@ -1,0 +1,157 @@
+let linear n =
+  let coords = Array.init n (fun i -> (float_of_int i, 0.)) in
+  Coupling.make ~coords
+    ~name:(Fmt.str "linear-%d" n)
+    ~n
+    (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then invalid_arg "Devices.ring: need at least 3 qubits";
+  let coords =
+    Array.init n (fun i ->
+        let a = 2. *. Float.pi *. float_of_int i /. float_of_int n in
+        (cos a, sin a))
+  in
+  Coupling.make ~coords
+    ~name:(Fmt.str "ring-%d" n)
+    ~n
+    (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let grid ~rows ~cols =
+  let n = rows * cols in
+  let idx r c = (r * cols) + c in
+  let coords =
+    Array.init n (fun i ->
+        (float_of_int (i mod cols), float_of_int (i / cols)))
+  in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (idx r c, idx r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (idx r c, idx (r + 1) c) :: !edges
+    done
+  done;
+  Coupling.make ~coords ~name:(Fmt.str "grid-%dx%d" rows cols) ~n !edges
+
+let fully_connected n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Coupling.make ~name:(Fmt.str "full-%d" n) ~n !edges
+
+let ibm_q5 =
+  Coupling.make ~name:"ibm-q5" ~n:5
+    [ (0, 1); (0, 2); (1, 2); (2, 3); (2, 4); (3, 4) ]
+
+(* IBM Q16 Melbourne at its nominal 16 qubits: the 2×8 ladder (two rows of
+   eight with vertical rungs). The paper runs every non-36-qubit benchmark on
+   "Q16", so the nominal ladder — not the 14-usable-qubit calibration map —
+   is the topology it assumes. *)
+let ibm_q16_melbourne =
+  let coords =
+    Array.init 16 (fun i -> (float_of_int (i mod 8), float_of_int (i / 8)))
+  in
+  let rows =
+    [
+      (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 7);
+      (8, 9); (9, 10); (10, 11); (11, 12); (12, 13); (13, 14); (14, 15);
+    ]
+  in
+  let rungs = List.init 8 (fun i -> (i, i + 8)) in
+  Coupling.make ~coords ~name:"ibm-q16-melbourne" ~n:16 (rows @ rungs)
+
+(* IBM Q20 Tokyo: 4×5 grid plus the published diagonal couplers (as used by
+   SABRE, ASPLOS'19). *)
+let ibm_q20_tokyo =
+  let coords =
+    Array.init 20 (fun i -> (float_of_int (i mod 5), float_of_int (i / 5)))
+  in
+  let rows =
+    [
+      (0, 1); (1, 2); (2, 3); (3, 4);
+      (5, 6); (6, 7); (7, 8); (8, 9);
+      (10, 11); (11, 12); (12, 13); (13, 14);
+      (15, 16); (16, 17); (17, 18); (18, 19);
+    ]
+  in
+  let cols =
+    [
+      (0, 5); (5, 10); (10, 15);
+      (1, 6); (6, 11); (11, 16);
+      (2, 7); (7, 12); (12, 17);
+      (3, 8); (8, 13); (13, 18);
+      (4, 9); (9, 14); (14, 19);
+    ]
+  in
+  let diagonals =
+    [
+      (1, 7); (2, 6); (3, 9); (4, 8);
+      (5, 11); (6, 10); (8, 12); (7, 13);
+      (11, 17); (12, 16); (13, 19); (14, 18);
+    ]
+  in
+  Coupling.make ~coords ~name:"ibm-q20-tokyo" ~n:20 (rows @ cols @ diagonals)
+
+let enfield_6x6 =
+  let g = grid ~rows:6 ~cols:6 in
+  Coupling.make
+    ?coords:(Coupling.coords g)
+    ~name:"enfield-6x6" ~n:36 (Coupling.edges g)
+
+(* Sycamore-style diagonal square lattice: 9 rows of 6, odd rows offset by
+   half a cell; qubit (r,c) couples to the one or two qubits diagonally below
+   it. Degree ≤ 4, 54 qubits, 88 couplers. *)
+let sycamore_54 =
+  let rows = 9 and cols = 6 in
+  let n = rows * cols in
+  let idx r c = (r * cols) + c in
+  let coords =
+    Array.init n (fun i ->
+        let r = i / cols and c = i mod cols in
+        (float_of_int c +. (0.5 *. float_of_int (r mod 2)), float_of_int r))
+  in
+  let edges = ref [] in
+  for r = 0 to rows - 2 do
+    for c = 0 to cols - 1 do
+      (* below-left / below-right targets depend on the row parity *)
+      let c_left = if r mod 2 = 0 then c - 1 else c in
+      let c_right = if r mod 2 = 0 then c else c + 1 in
+      if c_left >= 0 then edges := (idx r c, idx (r + 1) c_left) :: !edges;
+      if c_right < cols then edges := (idx r c, idx (r + 1) c_right) :: !edges
+    done
+  done;
+  Coupling.make ~coords ~name:"google-q54-sycamore" ~n !edges
+
+let evaluation_devices =
+  [ ibm_q16_melbourne; enfield_6x6; ibm_q20_tokyo; sycamore_54 ]
+
+let by_name s =
+  let s = String.lowercase_ascii s in
+  let prefixed p = String.length s > String.length p
+                   && String.sub s 0 (String.length p) = p in
+  let suffix p = String.sub s (String.length p)
+      (String.length s - String.length p) in
+  match s with
+  | "melbourne" | "q16" | "ibm-q16-melbourne" -> Some ibm_q16_melbourne
+  | "tokyo" | "q20" | "ibm-q20-tokyo" -> Some ibm_q20_tokyo
+  | "6x6" | "enfield" | "enfield-6x6" -> Some enfield_6x6
+  | "sycamore" | "q54" | "google-q54-sycamore" -> Some sycamore_54
+  | "q5" | "ibm-q5" -> Some ibm_q5
+  | _ ->
+    if prefixed "linear-" then
+      Option.map linear (int_of_string_opt (suffix "linear-"))
+    else if prefixed "ring-" then
+      Option.map ring (int_of_string_opt (suffix "ring-"))
+    else if prefixed "full-" then
+      Option.map fully_connected (int_of_string_opt (suffix "full-"))
+    else if prefixed "grid-" then
+      match String.split_on_char 'x' (suffix "grid-") with
+      | [ r; c ] -> (
+        match (int_of_string_opt r, int_of_string_opt c) with
+        | Some rows, Some cols -> Some (grid ~rows ~cols)
+        | (None, _ | _, None) -> None)
+      | _ -> None
+    else None

@@ -1,0 +1,45 @@
+(** The device zoo: coupling graphs for the NISQ machines the paper
+    evaluates on (§V-b), plus generic families used by tests and examples.
+
+    Devices carry planar coordinates where the physical layout is planar
+    (grids, ladders, Sycamore), enabling CODAR's [Hfine] tiebreak. *)
+
+val linear : int -> Coupling.t
+(** Path graph [0 - 1 - … - (n-1)]. *)
+
+val ring : int -> Coupling.t
+
+val grid : rows:int -> cols:int -> Coupling.t
+(** 2-D lattice with row-major numbering. *)
+
+val fully_connected : int -> Coupling.t
+(** All-to-all connectivity (ion trap); routing never inserts SWAPs. *)
+
+val ibm_q5 : Coupling.t
+(** 5-qubit "bow-tie" (IBM QX2-style). *)
+
+val ibm_q16_melbourne : Coupling.t
+(** IBM Q16 Melbourne at its nominal 16 qubits: a 2×8 ladder. (The real
+    device's calibration map exposed only 14 usable qubits, but the paper
+    runs every ≤16-qubit benchmark on "Q16", so the nominal ladder is the
+    topology it assumes.) *)
+
+val ibm_q20_tokyo : Coupling.t
+(** 4×5 grid plus the published diagonal couplers (the SABRE paper's
+    device). *)
+
+val enfield_6x6 : Coupling.t
+(** The 6×6 grid model proposed by Enfield. *)
+
+val sycamore_54 : Coupling.t
+(** Google's 54-qubit Sycamore: 9 rows × 6 columns on a diagonal square
+    lattice, each qubit coupled to up to four diagonal neighbours. *)
+
+val evaluation_devices : Coupling.t list
+(** The four architectures of Fig. 8: IBM Q16 Melbourne, Enfield 6×6,
+    IBM Q20 Tokyo and Google Q54 Sycamore, in the paper's order. *)
+
+val by_name : string -> Coupling.t option
+(** Lookup for the CLI: ["melbourne"], ["tokyo"], ["6x6"] / ["enfield"],
+    ["sycamore"], ["q5"], ["linear-<n>"], ["ring-<n>"], ["grid-<r>x<c>"],
+    ["full-<n>"]. *)

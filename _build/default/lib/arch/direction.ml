@@ -1,0 +1,68 @@
+type t = { coupling : Coupling.t; allowed : (int * int, unit) Hashtbl.t }
+
+let symmetric coupling =
+  let allowed = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace allowed (a, b) ();
+      Hashtbl.replace allowed (b, a) ())
+    (Coupling.edges coupling);
+  { coupling; allowed }
+
+let of_directed_edges coupling pairs =
+  let allowed = Hashtbl.create 64 in
+  List.iter
+    (fun (c, t) ->
+      if not (Coupling.adjacent coupling c t) then
+        invalid_arg
+          (Fmt.str "Direction.of_directed_edges: (%d,%d) is not a coupler" c t);
+      Hashtbl.replace allowed (c, t) ())
+    pairs;
+  List.iter
+    (fun (a, b) ->
+      if not (Hashtbl.mem allowed (a, b) || Hashtbl.mem allowed (b, a)) then
+        invalid_arg
+          (Fmt.str "Direction.of_directed_edges: coupler (%d,%d) has no \
+                    allowed direction" a b))
+    (Coupling.edges coupling);
+  { coupling; allowed }
+
+let allows t ~control ~target = Hashtbl.mem t.allowed (control, target)
+
+let ibm_q5_directed =
+  of_directed_edges Devices.ibm_q5
+    [ (1, 0); (2, 0); (2, 1); (3, 2); (3, 4); (2, 4) ]
+
+let check_edge t g a b =
+  if not (Coupling.adjacent t.coupling a b) then
+    invalid_arg
+      (Fmt.str "Direction.fix_circuit: %a is on a non-coupled pair — route \
+                first" Qc.Gate.pp g)
+
+let fix_gate t g =
+  match g with
+  | Qc.Gate.Two (Qc.Gate.CX, c, tg) ->
+    check_edge t g c tg;
+    if allows t ~control:c ~target:tg then [ g ]
+    else
+      [ Qc.Gate.h c; Qc.Gate.h tg; Qc.Gate.cx tg c; Qc.Gate.h tg; Qc.Gate.h c ]
+  | Qc.Gate.Two ((Qc.Gate.CZ | Qc.Gate.Swap | Qc.Gate.XX _ | Qc.Gate.Rzz _), a, b)
+    ->
+    check_edge t g a b;
+    [ g ]
+  | Qc.Gate.One _ | Qc.Gate.Barrier _ | Qc.Gate.Measure _ -> [ g ]
+
+let fix_circuit t circuit =
+  Qc.Circuit.make
+    ~n_qubits:(Qc.Circuit.n_qubits circuit)
+    (List.concat_map (fix_gate t) (Qc.Circuit.gates circuit))
+
+let conforms t circuit =
+  List.for_all
+    (fun g ->
+      match g with
+      | Qc.Gate.Two (Qc.Gate.CX, c, tg) -> allows t ~control:c ~target:tg
+      | Qc.Gate.Two ((Qc.Gate.CZ | Qc.Gate.Swap | Qc.Gate.XX _ | Qc.Gate.Rzz _), _, _)
+      | Qc.Gate.One _ | Qc.Gate.Barrier _ | Qc.Gate.Measure _ ->
+        true)
+    (Qc.Circuit.gates circuit)

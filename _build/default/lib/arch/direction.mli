@@ -1,0 +1,33 @@
+(** CX direction constraints.
+
+    Early IBM devices (the 5-qubit QX machines of §II-A) implement CX only
+    in a fixed direction per coupler; a reversed CX costs four extra H
+    gates. Routers in this library work on the undirected graph (as the
+    paper does); this post-pass then legalises a routed physical circuit
+    for a directed machine. *)
+
+type t
+
+val symmetric : Coupling.t -> t
+(** Every coupling edge works both ways (modern hardware). *)
+
+val of_directed_edges : Coupling.t -> (int * int) list -> t
+(** [(c, t)] pairs give the allowed control→target orientations. Every
+    coupling edge must be covered in at least one direction, and no pair
+    may be outside the coupling — [Invalid_argument] otherwise. *)
+
+val allows : t -> control:int -> target:int -> bool
+
+val ibm_q5_directed : t
+(** The classic directed bow-tie on {!Devices.ibm_q5}:
+    1→0, 2→0, 2→1, 3→2, 3→4, 2→4. *)
+
+val fix_circuit : t -> Qc.Circuit.t -> Qc.Circuit.t
+(** Rewrite every CX pointing against its coupler as
+    [H c; H t; CX t c; H t; H c]. Symmetric two-qubit gates (CZ, Rzz, XX,
+    Swap) pass through. Raises [Invalid_argument] when a two-qubit gate
+    sits on a pair that is no coupling edge at all — run the router
+    first. *)
+
+val conforms : t -> Qc.Circuit.t -> bool
+(** Every CX respects its coupler's direction (other gates ignored). *)

@@ -1,0 +1,43 @@
+type t = {
+  name : string;
+  one_qubit : int;
+  two_qubit : int;
+  swap : int;
+  measure : int;
+}
+
+let make ~name ~one_qubit ~two_qubit ~swap ~measure =
+  if one_qubit <= 0 || two_qubit <= 0 || swap <= 0 || measure <= 0 then
+    invalid_arg "Durations.make: durations must be positive";
+  { name; one_qubit; two_qubit; swap; measure }
+
+let name t = t.name
+let one_qubit t = t.one_qubit
+let two_qubit t = t.two_qubit
+let swap t = t.swap
+let measure t = t.measure
+
+let of_gate t = function
+  | Qc.Gate.One _ -> t.one_qubit
+  | Qc.Gate.Two (Qc.Gate.Swap, _, _) -> t.swap
+  | Qc.Gate.Two ((Qc.Gate.CX | Qc.Gate.CZ | Qc.Gate.XX _ | Qc.Gate.Rzz _), _, _)
+    ->
+    t.two_qubit
+  | Qc.Gate.Barrier _ -> 0
+  | Qc.Gate.Measure _ -> t.measure
+
+let superconducting =
+  make ~name:"superconducting" ~one_qubit:1 ~two_qubit:2 ~swap:6 ~measure:5
+
+let ion_trap = make ~name:"ion-trap" ~one_qubit:1 ~two_qubit:12 ~swap:36 ~measure:8
+
+let neutral_atom =
+  make ~name:"neutral-atom" ~one_qubit:2 ~two_qubit:1 ~swap:3 ~measure:4
+
+let uniform = make ~name:"uniform" ~one_qubit:1 ~two_qubit:1 ~swap:3 ~measure:1
+
+let all_presets = [ superconducting; ion_trap; neutral_atom; uniform ]
+
+let pp ppf t =
+  Fmt.pf ppf "%s: 1q=%d 2q=%d swap=%d measure=%d" t.name t.one_qubit
+    t.two_qubit t.swap t.measure

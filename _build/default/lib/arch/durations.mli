@@ -1,0 +1,46 @@
+(** Gate-duration profiles — the paper's map [τ : G → ℕ] (Table II), with
+    presets derived from the hardware survey in Table I.
+
+    Durations are integer multiples of the abstract quantum clock cycle τu.
+    The paper's headline configuration is {!superconducting}: a two-qubit
+    gate takes twice a single-qubit gate and a SWAP (three back-to-back CX)
+    takes six cycles. *)
+
+type t
+
+val make :
+  name:string ->
+  one_qubit:int ->
+  two_qubit:int ->
+  swap:int ->
+  measure:int ->
+  t
+(** All durations must be positive except that barriers always cost 0. *)
+
+val name : t -> string
+val one_qubit : t -> int
+val two_qubit : t -> int
+val swap : t -> int
+val measure : t -> int
+
+val of_gate : t -> Qc.Gate.t -> int
+(** Duration of a concrete gate. [Barrier] costs 0. *)
+
+val superconducting : t
+(** 1q = 1, 2q = 2, SWAP = 6, measure = 5 — IBM-style ratios (Table I:
+    1q ≈ 80–130 ns, 2q ≈ 250–450 ns). The configuration used for Fig. 8. *)
+
+val ion_trap : t
+(** 1q = 1, 2q = 12, SWAP = 36 — Table I: 20 µs vs 250 µs. *)
+
+val neutral_atom : t
+(** 1q = 2, 2q = 1, SWAP = 3 — two-qubit gates can be {e faster} than
+    single-qubit ones on neutral atoms (Table I: ~10 µs vs 1–20 µs). *)
+
+val uniform : t
+(** 1q = 2q = 1, SWAP = 3 — the duration-oblivious model assumed by prior
+    work; used for ablations. *)
+
+val all_presets : t list
+
+val pp : Format.formatter -> t -> unit

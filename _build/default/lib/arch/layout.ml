@@ -1,0 +1,59 @@
+type t = { l2p : int array; p2l : int array }
+
+let identity ~n_logical ~n_physical =
+  if n_logical > n_physical then
+    invalid_arg "Layout.identity: more logical than physical qubits";
+  {
+    l2p = Array.init n_logical Fun.id;
+    p2l = Array.init n_physical (fun p -> if p < n_logical then p else -1);
+  }
+
+let of_array ~n_physical l2p =
+  let n_logical = Array.length l2p in
+  if n_logical > n_physical then
+    invalid_arg "Layout.of_array: more logical than physical qubits";
+  let p2l = Array.make n_physical (-1) in
+  Array.iteri
+    (fun l p ->
+      if p < 0 || p >= n_physical then
+        invalid_arg "Layout.of_array: physical index out of range";
+      if p2l.(p) <> -1 then invalid_arg "Layout.of_array: not injective";
+      p2l.(p) <- l)
+    l2p;
+  { l2p = Array.copy l2p; p2l }
+
+let n_logical t = Array.length t.l2p
+let n_physical t = Array.length t.p2l
+let phys_of_log t l = t.l2p.(l)
+
+let log_of_phys t p = if t.p2l.(p) = -1 then None else Some t.p2l.(p)
+
+let swap_physical t p1 p2 =
+  let l2p = Array.copy t.l2p and p2l = Array.copy t.p2l in
+  let l1 = p2l.(p1) and l2 = p2l.(p2) in
+  p2l.(p1) <- l2;
+  p2l.(p2) <- l1;
+  if l1 <> -1 then l2p.(l1) <- p2;
+  if l2 <> -1 then l2p.(l2) <- p1;
+  { l2p; p2l }
+
+let to_array t = Array.copy t.l2p
+
+let equal a b = a.l2p = b.l2p && a.p2l = b.p2l
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>[%a]@]"
+    Fmt.(array ~sep:(Fmt.any "; ") int)
+    t.l2p
+
+let random rng ~n_logical ~n_physical =
+  if n_logical > n_physical then
+    invalid_arg "Layout.random: more logical than physical qubits";
+  let perm = Array.init n_physical Fun.id in
+  for i = n_physical - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  of_array ~n_physical (Array.sub perm 0 n_logical)

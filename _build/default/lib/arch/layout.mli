@@ -1,0 +1,33 @@
+(** Logical-to-physical qubit mapping — the paper's [π : QP → QH].
+
+    A layout maps [n_logical] logical qubits injectively into [n_physical ≥
+    n_logical] physical qubits. SWAPs act on {e physical} qubits: either,
+    both or neither endpoint may currently host a logical qubit. *)
+
+type t
+
+val identity : n_logical:int -> n_physical:int -> t
+(** Logical [i] on physical [i]. *)
+
+val of_array : n_physical:int -> int array -> t
+(** [of_array ~n_physical l2p]: logical [i] sits on physical [l2p.(i)].
+    Raises [Invalid_argument] if not injective or out of range. *)
+
+val n_logical : t -> int
+val n_physical : t -> int
+
+val phys_of_log : t -> int -> int
+val log_of_phys : t -> int -> int option
+(** [None] for physical qubits not hosting a logical qubit. *)
+
+val swap_physical : t -> int -> int -> t
+(** Exchange whatever sits on the two physical qubits (pure). *)
+
+val to_array : t -> int array
+(** Fresh copy of the logical→physical table. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val random : Random.State.t -> n_logical:int -> n_physical:int -> t
+(** Uniformly random injective placement. *)

@@ -1,0 +1,26 @@
+(** Multi-architecture Adaptive Quantum Abstract Machine (maQAM, paper §III).
+
+    The static structure [As = (QH, G, M, τ, D)]: physical qubits and
+    coupling graph [M] with distance matrix [D] (both in {!Coupling.t}), and
+    the gate-duration map [τ] ({!Durations.t}). The dynamic structure
+    [Ad = (π, CF)] lives in the routers: the evolving {!Layout.t} and the
+    commutative front. *)
+
+type t
+
+val make : coupling:Coupling.t -> durations:Durations.t -> t
+
+val coupling : t -> Coupling.t
+val durations : t -> Durations.t
+
+val n_qubits : t -> int
+val adjacent : t -> int -> int -> bool
+val distance : t -> int -> int -> int
+val duration : t -> Qc.Gate.t -> int
+
+val fits :
+  t -> Layout.t -> Qc.Gate.t -> bool
+(** Whether a logical gate, placed through the layout, satisfies the
+    hardware coupling constraint (always true for arity ≤ 1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/astar/layers.ml: List Qc

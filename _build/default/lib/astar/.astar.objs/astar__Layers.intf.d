@@ -1,0 +1,1 @@
+lib/astar/layers.mli: Qc

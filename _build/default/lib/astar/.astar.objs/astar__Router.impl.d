@@ -1,0 +1,1 @@
+lib/astar/router.ml: Arch Array Hashtbl Layers List Obj Qc Schedule Stdlib String

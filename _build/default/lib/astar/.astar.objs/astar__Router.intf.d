@@ -1,0 +1,1 @@
+lib/astar/router.mli: Arch Qc Schedule

@@ -1,0 +1,18 @@
+let partition circuit =
+  let flush layer layers =
+    if layer = [] then layers else List.rev layer :: layers
+  in
+  let rec go gates layer used layers =
+    match gates with
+    | [] -> List.rev (flush layer layers)
+    | g :: rest -> (
+      match g with
+      | Qc.Gate.Barrier _ ->
+        go rest [] [] (flush [ g ] (flush layer layers))
+      | Qc.Gate.One _ | Qc.Gate.Two _ | Qc.Gate.Measure _ ->
+        let qs = Qc.Gate.qubits g in
+        if List.exists (fun q -> List.mem q used) qs then
+          go rest [ g ] qs (flush layer layers)
+        else go rest (g :: layer) (qs @ used) layers)
+  in
+  go (Qc.Circuit.gates circuit) [] [] []

@@ -1,0 +1,10 @@
+(** Greedy partition of a circuit into layers of qubit-disjoint gates — the
+    front end of the Zulehner-style A* mapper (TCAD'19), which "divides the
+    two-qubit gates into independent layers, then uses A* search … to
+    determine compliant mappings for each layer" (paper §II-A). *)
+
+val partition : Qc.Circuit.t -> Qc.Gate.t list list
+(** Left-to-right greedy layering: a gate joins the current layer iff none
+    of its qubits appear there yet; a [Barrier] always closes the current
+    layer (and occupies one of its own). Within a layer the original order
+    is kept. *)

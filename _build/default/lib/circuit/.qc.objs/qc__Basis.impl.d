@@ -1,0 +1,1 @@
+lib/circuit/basis.ml: Circuit Float Gate List

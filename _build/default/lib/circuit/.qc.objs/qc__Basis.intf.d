@@ -1,0 +1,1 @@
+lib/circuit/basis.mli: Circuit Gate

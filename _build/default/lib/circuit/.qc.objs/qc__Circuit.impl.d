@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Fmt Gate List Stdlib

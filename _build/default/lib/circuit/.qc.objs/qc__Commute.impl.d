@@ -1,0 +1,1 @@
+lib/circuit/commute.ml: Gate Hashtbl List Matrix

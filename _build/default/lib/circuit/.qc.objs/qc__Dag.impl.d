@@ -1,0 +1,1 @@
+lib/circuit/dag.ml: Array Circuit Fun Gate List Stdlib

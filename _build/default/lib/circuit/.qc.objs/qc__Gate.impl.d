@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Float Fmt List Stdlib

@@ -1,0 +1,1 @@
+lib/circuit/matrix.ml: Array Complex Float Fmt Gate List Stdlib

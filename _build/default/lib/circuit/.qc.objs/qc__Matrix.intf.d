@@ -1,0 +1,1 @@
+lib/circuit/matrix.mli: Complex Format Gate

@@ -1,0 +1,1 @@
+lib/circuit/metrics.ml: Circuit Dag Gate Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/circuit/metrics.mli: Circuit Gate

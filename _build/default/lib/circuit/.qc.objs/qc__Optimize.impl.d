@@ -1,0 +1,1 @@
+lib/circuit/optimize.ml: Array Circuit Float Fun Gate List Matrix Stdlib

@@ -1,0 +1,1 @@
+lib/circuit/optimize.mli: Circuit

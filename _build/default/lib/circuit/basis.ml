@@ -1,0 +1,69 @@
+type native_set = Cx_based | Cz_based | Xx_based
+
+let set_name = function
+  | Cx_based -> "cx"
+  | Cz_based -> "cz"
+  | Xx_based -> "xx"
+
+let half_pi = Float.pi /. 2.
+
+(* Maslov's ion-trap identity (up to global phase):
+   CNOT(c,t) = Ry(π/2)_c · XX(χ=π/4) · Rx(−π/2)_c · Rx(−π/2)_t · Ry(−π/2)_c
+   with XX(χ) = exp(−iχ X⊗X); our [Gate.xx a] is exp(−i(a/2) X⊗X), so
+   χ = π/4 is [xx (π/2)]. In circuit order (left applied first): *)
+let cx_to_xx c t =
+  [
+    Gate.ry half_pi c;
+    Gate.xx half_pi c t;
+    Gate.rx (-.half_pi) c;
+    Gate.rx (-.half_pi) t;
+    Gate.ry (-.half_pi) c;
+  ]
+
+let cx_to_cz c t = [ Gate.h t; Gate.cz c t; Gate.h t ]
+
+let cz_to_cx c t = [ Gate.h t; Gate.cx c t; Gate.h t ]
+
+(* Stage 1: lower every two-qubit gate to CX + rotations. *)
+let to_cx_form g =
+  match g with
+  | Gate.Two (Gate.CX, _, _) | Gate.One _ | Gate.Barrier _ | Gate.Measure _ ->
+    [ g ]
+  | Gate.Two (Gate.CZ, c, t) -> cz_to_cx c t
+  | Gate.Two (Gate.Swap, a, b) ->
+    [ Gate.cx a b; Gate.cx b a; Gate.cx a b ]
+  | Gate.Two (Gate.Rzz theta, c, t) ->
+    [ Gate.cx c t; Gate.rz theta t; Gate.cx c t ]
+  | Gate.Two (Gate.XX theta, a, b) ->
+    (* XX(θ) = (H⊗H) · Rzz(θ) · (H⊗H) *)
+    [ Gate.h a; Gate.h b; Gate.cx a b; Gate.rz theta b; Gate.cx a b;
+      Gate.h a; Gate.h b ]
+
+(* Stage 2: lower CX to the native interaction. *)
+let from_cx target g =
+  match (target, g) with
+  | Cx_based, _ -> [ g ]
+  | _, (Gate.One _ | Gate.Barrier _ | Gate.Measure _) -> [ g ]
+  | Cz_based, Gate.Two (Gate.CX, c, t) -> cx_to_cz c t
+  | Xx_based, Gate.Two (Gate.CX, c, t) -> cx_to_xx c t
+  | (Cz_based | Xx_based), Gate.Two ((Gate.CZ | Gate.Swap | Gate.Rzz _ | Gate.XX _), _, _)
+    ->
+    assert false (* removed by stage 1 *)
+
+let translate target circuit =
+  let lowered = List.concat_map to_cx_form (Circuit.gates circuit) in
+  Circuit.make ~n_qubits:(Circuit.n_qubits circuit)
+    (List.concat_map (from_cx target) lowered)
+
+let conforms target circuit =
+  List.for_all
+    (fun g ->
+      match g with
+      | Gate.One _ | Gate.Barrier _ | Gate.Measure _ -> true
+      | Gate.Two (k, _, _) -> (
+        match (target, k) with
+        | Cx_based, Gate.CX | Cz_based, Gate.CZ | Xx_based, Gate.XX _ -> true
+        | (Cx_based | Cz_based | Xx_based), (Gate.CX | Gate.CZ | Gate.Swap
+          | Gate.XX _ | Gate.Rzz _) ->
+          false))
+    (Circuit.gates circuit)

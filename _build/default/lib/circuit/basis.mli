@@ -1,0 +1,29 @@
+(** Native-gate-set translation.
+
+    maQAM targets "various NISQ devices" (paper §III): superconducting
+    machines run CX natively, ion traps implement the Mølmer–Sørensen [XX]
+    interaction (one CX = one XX plus four single-qubit rotations, Debnath
+    et al., Nature 2016), and CZ is the natural two-qubit gate for
+    neutral-atom Rydberg blockade. These passes rewrite a circuit's
+    two-qubit gates into the chosen native set; all translations are exact
+    up to global phase (checked against the state-vector simulator). *)
+
+type native_set = Cx_based | Cz_based | Xx_based
+
+val set_name : native_set -> string
+
+val cx_to_xx : int -> int -> Gate.t list
+(** One CX (control, target) as Ry/XX(π/2)/Rx/Ry rotations. *)
+
+val cx_to_cz : int -> int -> Gate.t list
+(** [H t; CZ c t; H t]. *)
+
+val cz_to_cx : int -> int -> Gate.t list
+
+val translate : native_set -> Circuit.t -> Circuit.t
+(** Rewrite every two-qubit gate into the target set: [Swap] expands to
+    three CX, [Rzz]/[XX] go through their CX form, then every CX is
+    lowered to the native interaction. Gates already native are kept. *)
+
+val conforms : native_set -> Circuit.t -> bool
+(** Every two-qubit gate is in the native set. *)

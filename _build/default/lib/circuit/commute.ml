@@ -1,0 +1,58 @@
+let disjoint a b =
+  let qa = Gate.qubits a in
+  let qb = Gate.qubits b in
+  not (List.exists (fun q -> List.mem q qb) qa)
+
+let shared a b =
+  let qb = Gate.qubits b in
+  List.filter (fun q -> List.mem q qb) (Gate.qubits a)
+
+(* Sufficient structural rule: two gates sharing qubits commute if, on every
+   shared qubit, both act diagonally in the same (Z or X) basis. Controlled
+   gates decompose as sums of projectors on such a qubit, so the argument in
+   DESIGN.md §5 applies. *)
+let commutes_by_rule a b =
+  if not (Gate.is_unitary a && Gate.is_unitary b) then
+    Some (disjoint a b)
+  else if disjoint a b then Some true
+  else if Gate.equal a b then Some true
+  else
+    let basis_match q =
+      (Gate.diagonal_on a q && Gate.diagonal_on b q)
+      || (Gate.x_like_on a q && Gate.x_like_on b q)
+    in
+    if List.for_all basis_match (shared a b) then Some true else None
+
+(* The exact fallback builds and multiplies up-to-8×8 matrices; routers ask
+   the same structural question (e.g. "H then CX sharing a qubit") millions
+   of times, so results are cached under qubit-relabelling canonicalisation
+   (commutation is invariant under it). *)
+let cache : (Gate.t * Gate.t, bool) Hashtbl.t = Hashtbl.create 256
+
+let canonical a b =
+  let table = Hashtbl.create 8 in
+  let next = ref 0 in
+  let rename q =
+    match Hashtbl.find_opt table q with
+    | Some q' -> q'
+    | None ->
+      let q' = !next in
+      incr next;
+      Hashtbl.replace table q q';
+      q'
+  in
+  let a' = Gate.remap rename a in
+  let b' = Gate.remap rename b in
+  (a', b')
+
+let commutes a b =
+  match commutes_by_rule a b with
+  | Some r -> r
+  | None -> (
+    let key = canonical a b in
+    match Hashtbl.find_opt cache key with
+    | Some r -> r
+    | None ->
+      let r = Matrix.commute a b in
+      Hashtbl.replace cache key r;
+      r)

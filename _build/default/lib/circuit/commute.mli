@@ -1,0 +1,16 @@
+(** Gate commutation test.
+
+    CODAR's Commutative-Front detection (paper §IV-B) needs a fast, exact
+    answer to "do these two gates commute?". Gates on disjoint qubits always
+    commute; for gates sharing qubits we apply cheap sufficient rules
+    (Z-basis-diagonal vs X-basis-diagonal structure per shared qubit) and fall
+    back to the exact matrix commutator for the remaining cases. *)
+
+val commutes : Gate.t -> Gate.t -> bool
+(** [commutes a b] is [true] iff the two gates commute as operators.
+    Non-unitary gates ([Barrier], [Measure]) commute only with gates on
+    disjoint qubits. *)
+
+val commutes_by_rule : Gate.t -> Gate.t -> bool option
+(** The fast path only: [Some b] when a structural rule decides, [None] when
+    the exact check would be consulted. Exposed for tests and ablation. *)

@@ -1,0 +1,75 @@
+let cphase theta a b =
+  [
+    Gate.u1 (theta /. 2.) a;
+    Gate.cx a b;
+    Gate.u1 (-.theta /. 2.) b;
+    Gate.cx a b;
+    Gate.u1 (theta /. 2.) b;
+  ]
+
+let toffoli c1 c2 target =
+  [
+    Gate.h target;
+    Gate.cx c2 target;
+    Gate.tdg target;
+    Gate.cx c1 target;
+    Gate.t target;
+    Gate.cx c2 target;
+    Gate.tdg target;
+    Gate.cx c1 target;
+    Gate.t c2;
+    Gate.t target;
+    Gate.h target;
+    Gate.cx c1 c2;
+    Gate.t c1;
+    Gate.tdg c2;
+    Gate.cx c1 c2;
+  ]
+
+let ccz c1 c2 target =
+  [ Gate.h target ] @ toffoli c1 c2 target @ [ Gate.h target ]
+
+let controlled_swap c a b =
+  (Gate.cx b a :: toffoli c a b) @ [ Gate.cx b a ]
+
+let mcx ~controls ~target ~ancillas =
+  let all = (target :: controls) @ ancillas in
+  if List.length (List.sort_uniq Stdlib.compare all) <> List.length all then
+    invalid_arg "Decompose.mcx: qubits collide";
+  match controls with
+  | [] -> [ Gate.x target ]
+  | [ c ] -> [ Gate.cx c target ]
+  | [ c1; c2 ] -> toffoli c1 c2 target
+  | c1 :: c2 :: rest ->
+    let needed = List.length controls - 2 in
+    if List.length ancillas < needed then
+      invalid_arg "Decompose.mcx: not enough ancillas";
+    (* V-chain: AND pairs of controls into fresh ancillas (c1∧c2 → a1,
+       c3∧a1 → a2, …), fire the final Toffoli into the target, uncompute. *)
+    let ancillas = List.filteri (fun i _ -> i < needed) ancillas in
+    let rec chain prev ctrls ancs acc =
+      match (ctrls, ancs) with
+      | [], [] -> (prev, acc)
+      | c :: ctrls', a :: ancs' -> chain a ctrls' ancs' (acc @ toffoli c prev a)
+      | ([], _ :: _ | _ :: _, []) ->
+        invalid_arg "Decompose.mcx: ancilla bookkeeping"
+    in
+    (match (rest, ancillas) with
+    | last_ctrl :: chain_ctrls_rev', first_anc :: rest_anc ->
+      (* keep the last control for the firing Toffoli *)
+      let chain_ctrls, last_ctrl =
+        match List.rev (last_ctrl :: chain_ctrls_rev') with
+        | last :: before_rev -> (List.rev before_rev, last)
+        | [] -> assert false
+      in
+      let top, compute_rest = chain first_anc chain_ctrls rest_anc [] in
+      let forward = toffoli c1 c2 first_anc @ compute_rest in
+      let backward =
+        List.rev forward
+        |> List.map (fun g ->
+               match Gate.inverse g with
+               | Some g' -> g'
+               | None -> assert false)
+      in
+      forward @ toffoli last_ctrl top target @ backward
+    | ([], _ | _, []) -> invalid_arg "Decompose.mcx: ancilla bookkeeping")

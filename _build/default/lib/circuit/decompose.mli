@@ -1,0 +1,23 @@
+(** Standard decompositions into the CX + single-qubit basis.
+
+    Routers in this library place only the gates of {!Gate.t}; higher-level
+    constructs (Toffoli, controlled phases, multi-controlled X) are expanded
+    here, exactly as ScaffCC/Qiskit expand them before mapping. *)
+
+val cphase : float -> int -> int -> Gate.t list
+(** Controlled-[U1 θ]: 2 CX + 3 phase rotations. *)
+
+val toffoli : int -> int -> int -> Gate.t list
+(** [toffoli c1 c2 target]: the textbook 6-CX, 7-T decomposition. *)
+
+val ccz : int -> int -> int -> Gate.t list
+
+val controlled_swap : int -> int -> int -> Gate.t list
+(** Fredkin gate via Toffoli conjugated with CX. *)
+
+val mcx : controls:int list -> target:int -> ancillas:int list -> Gate.t list
+(** Multi-controlled X using a V-chain of Toffolis over [ancillas]
+    (requires [List.length ancillas >= List.length controls - 2]). The
+    ancillas must be in [|0⟩]; they are computed and uncomputed, so they end
+    clean. Raises [Invalid_argument] when ancillas are insufficient or
+    qubits collide. *)

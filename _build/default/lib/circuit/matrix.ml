@@ -1,0 +1,285 @@
+let zero = Complex.zero
+let one = Complex.one
+
+type t = Complex.t array array
+
+let make n = Array.make_matrix n n zero
+
+let identity n =
+  let m = make n in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- one
+  done;
+  m
+
+let dim m = Array.length m
+
+let mul a b =
+  let n = dim a in
+  let c = make n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref zero in
+      for k = 0 to n - 1 do
+        acc := Complex.add !acc (Complex.mul a.(i).(k) b.(k).(j))
+      done;
+      c.(i).(j) <- !acc
+    done
+  done;
+  c
+
+let add a b =
+  let n = dim a in
+  let c = make n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      c.(i).(j) <- Complex.add a.(i).(j) b.(i).(j)
+    done
+  done;
+  c
+
+let scale s a =
+  let n = dim a in
+  let c = make n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      c.(i).(j) <- Complex.mul s a.(i).(j)
+    done
+  done;
+  c
+
+let kron a b =
+  let na = dim a and nb = dim b in
+  let c = make (na * nb) in
+  for ia = 0 to na - 1 do
+    for ja = 0 to na - 1 do
+      for ib = 0 to nb - 1 do
+        for jb = 0 to nb - 1 do
+          c.((ia * nb) + ib).((ja * nb) + jb) <-
+            Complex.mul a.(ia).(ja) b.(ib).(jb)
+        done
+      done
+    done
+  done;
+  c
+
+let dagger a =
+  let n = dim a in
+  let c = make n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      c.(i).(j) <- Complex.conj a.(j).(i)
+    done
+  done;
+  c
+
+let approx_equal ?(tol = 1e-9) a b =
+  let n = dim a in
+  dim b = n
+  &&
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Complex.norm (Complex.sub a.(i).(j) b.(i).(j)) > tol then ok := false
+    done
+  done;
+  !ok
+
+let equal_up_to_phase ?(tol = 1e-9) a b =
+  let n = dim a in
+  dim b = n
+  &&
+  (* find the largest entry of [b] to fix the phase *)
+  let best = ref (0, 0) and best_norm = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let v = Complex.norm b.(i).(j) in
+      if v > !best_norm then begin
+        best_norm := v;
+        best := (i, j)
+      end
+    done
+  done;
+  if !best_norm < tol then approx_equal ~tol a b
+  else
+    let i, j = !best in
+    let phase = Complex.div a.(i).(j) b.(i).(j) in
+    if Float.abs (Complex.norm phase -. 1.) > 1e-6 then false
+    else approx_equal ~tol a (scale phase b)
+
+let is_unitary ?(tol = 1e-9) a =
+  approx_equal ~tol (mul a (dagger a)) (identity (dim a))
+
+let c re : Complex.t = { re; im = 0. }
+let ci im : Complex.t = { re = 0.; im }
+
+let of_one_qubit (k : Gate.one_qubit) : t =
+  let h = 1. /. sqrt 2. in
+  let e theta : Complex.t = { re = cos theta; im = sin theta } in
+  match k with
+  | Gate.I -> [| [| one; zero |]; [| zero; one |] |]
+  | Gate.X -> [| [| zero; one |]; [| one; zero |] |]
+  | Gate.Y -> [| [| zero; ci (-1.) |]; [| ci 1.; zero |] |]
+  | Gate.Z -> [| [| one; zero |]; [| zero; c (-1.) |] |]
+  | Gate.H -> [| [| c h; c h |]; [| c h; c (-.h) |] |]
+  | Gate.S -> [| [| one; zero |]; [| zero; ci 1. |] |]
+  | Gate.Sdg -> [| [| one; zero |]; [| zero; ci (-1.) |] |]
+  | Gate.T -> [| [| one; zero |]; [| zero; e (Float.pi /. 4.) |] |]
+  | Gate.Tdg -> [| [| one; zero |]; [| zero; e (-.Float.pi /. 4.) |] |]
+  | Gate.Rx a ->
+    let co = c (cos (a /. 2.)) and si = ci (-.sin (a /. 2.)) in
+    [| [| co; si |]; [| si; co |] |]
+  | Gate.Ry a ->
+    let co = c (cos (a /. 2.)) and si = c (sin (a /. 2.)) in
+    [| [| co; Complex.neg si |]; [| si; co |] |]
+  | Gate.Rz a ->
+    [| [| e (-.a /. 2.); zero |]; [| zero; e (a /. 2.) |] |]
+  | Gate.U1 a -> [| [| one; zero |]; [| zero; e a |] |]
+  | Gate.U2 (phi, lam) ->
+    [|
+      [| c h; Complex.neg (Complex.mul (c h) (e lam)) |];
+      [| Complex.mul (c h) (e phi); Complex.mul (c h) (e (phi +. lam)) |];
+    |]
+  | Gate.U3 (theta, phi, lam) ->
+    let ct = cos (theta /. 2.) and st = sin (theta /. 2.) in
+    [|
+      [| c ct; Complex.neg (Complex.mul (c st) (e lam)) |];
+      [| Complex.mul (c st) (e phi); Complex.mul (c ct) (e (phi +. lam)) |];
+    |]
+
+(* Basis index = b1*2 + b0 where bit 0 is the gate's first operand. *)
+let of_two_qubit (k : Gate.two_qubit) : t =
+  match k with
+  | Gate.CX ->
+    (* control = bit 0, target = bit 1 *)
+    [|
+      [| one; zero; zero; zero |];
+      [| zero; zero; zero; one |];
+      [| zero; zero; one; zero |];
+      [| zero; one; zero; zero |];
+    |]
+  | Gate.CZ ->
+    [|
+      [| one; zero; zero; zero |];
+      [| zero; one; zero; zero |];
+      [| zero; zero; one; zero |];
+      [| zero; zero; zero; c (-1.) |];
+    |]
+  | Gate.Swap ->
+    [|
+      [| one; zero; zero; zero |];
+      [| zero; zero; one; zero |];
+      [| zero; one; zero; zero |];
+      [| zero; zero; zero; one |];
+    |]
+  | Gate.XX a ->
+    (* exp(-i a/2 X⊗X) *)
+    let co = c (cos (a /. 2.)) and si = ci (-.sin (a /. 2.)) in
+    [|
+      [| co; zero; zero; si |];
+      [| zero; co; si; zero |];
+      [| zero; si; co; zero |];
+      [| si; zero; zero; co |];
+    |]
+  | Gate.Rzz a ->
+    (* exp(-i a/2 Z⊗Z) *)
+    let e theta : Complex.t = { re = cos theta; im = sin theta } in
+    let p = e (-.a /. 2.) and m = e (a /. 2.) in
+    [|
+      [| p; zero; zero; zero |];
+      [| zero; m; zero; zero |];
+      [| zero; zero; m; zero |];
+      [| zero; zero; zero; p |];
+    |]
+
+let embed small ~positions ~n =
+  let k = List.length positions in
+  if dim small <> 1 lsl k then
+    invalid_arg "Matrix.embed: size mismatch with positions";
+  List.iteri
+    (fun i p ->
+      if p < 0 || p >= n then invalid_arg "Matrix.embed: position out of range";
+      List.iteri
+        (fun j p' -> if i <> j && p = p' then
+            invalid_arg "Matrix.embed: duplicate position")
+        positions)
+    positions;
+  let positions = Array.of_list positions in
+  let size = 1 lsl n in
+  let big = make size in
+  (* For each full-space column j: small column bits are read off j at
+     [positions]; each small row ic contributes at the index obtained by
+     writing ic's bits back into [positions]. *)
+  let small_dim = 1 lsl k in
+  for j = 0 to size - 1 do
+    let jc = ref 0 in
+    for b = 0 to k - 1 do
+      if j land (1 lsl positions.(b)) <> 0 then jc := !jc lor (1 lsl b)
+    done;
+    let base =
+      let m = ref j in
+      for b = 0 to k - 1 do
+        m := !m land lnot (1 lsl positions.(b))
+      done;
+      !m
+    in
+    for ic = 0 to small_dim - 1 do
+      let i = ref base in
+      for b = 0 to k - 1 do
+        if ic land (1 lsl b) <> 0 then i := !i lor (1 lsl positions.(b))
+      done;
+      big.(!i).(j) <- small.(ic).(!jc)
+    done
+  done;
+  big
+
+let of_gate (g : Gate.t) ~positions ~n =
+  match g with
+  | Gate.One (k, q) -> embed (of_one_qubit k) ~positions:[ positions q ] ~n
+  | Gate.Two (k, q1, q2) ->
+    embed (of_two_qubit k) ~positions:[ positions q1; positions q2 ] ~n
+  | Gate.Barrier _ | Gate.Measure _ ->
+    invalid_arg "Matrix.of_gate: non-unitary gate"
+
+let to_u3_angles (u : t) =
+  if dim u <> 2 then invalid_arg "Matrix.to_u3_angles: need a 2x2 matrix";
+  let arg (z : Complex.t) = Float.atan2 z.im z.re in
+  let a00 = Complex.norm u.(0).(0) in
+  let theta = 2. *. acos (Float.min 1. a00) in
+  if a00 > 1e-9 && Complex.norm u.(1).(0) > 1e-9 then
+    (* generic case: fix the global phase so that u00 is real positive *)
+    let phase = arg u.(0).(0) in
+    let rot (z : Complex.t) = arg z -. phase in
+    (theta, rot u.(1).(0), rot (Complex.neg u.(0).(1)))
+  else if a00 > 1e-9 then
+    (* diagonal: θ = 0, only the total phase φ+λ matters *)
+    (0., 0., arg u.(1).(1) -. arg u.(0).(0))
+  else
+    (* anti-diagonal: θ = π; fix the phase so u10 is real positive *)
+    let phase = arg u.(1).(0) in
+    (Float.pi, 0., arg (Complex.neg u.(0).(1)) -. phase)
+
+let commute ?(tol = 1e-9) a b =
+  let qs =
+    List.sort_uniq Stdlib.compare (Gate.qubits a @ Gate.qubits b)
+  in
+  let n = List.length qs in
+  let pos q =
+    let rec idx i = function
+      | [] -> invalid_arg "Matrix.commute: qubit not found"
+      | q' :: rest -> if q = q' then i else idx (i + 1) rest
+    in
+    idx 0 qs
+  in
+  let ma = of_gate a ~positions:pos ~n in
+  let mb = of_gate b ~positions:pos ~n in
+  approx_equal ~tol (mul ma mb) (mul mb ma)
+
+let pp ppf m =
+  let n = dim m in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Fmt.pf ppf "(%.3f%+.3fi) " m.(i).(j).Complex.re m.(i).(j).Complex.im
+    done;
+    Fmt.pf ppf "@\n"
+  done

@@ -1,0 +1,63 @@
+(** Dense complex matrices for small qubit counts.
+
+    Used as the exact reference for gate semantics: the commutation oracle,
+    the state-vector simulator and the unit tests all derive gate action from
+    {!of_gate}. Index convention is little-endian: bit [i] of a basis-state
+    index is the state of qubit position [i]. *)
+
+type t = Complex.t array array
+
+val make : int -> t
+(** [make n] is the [n × n] zero matrix. *)
+
+val identity : int -> t
+
+val dim : t -> int
+
+val mul : t -> t -> t
+
+val add : t -> t -> t
+
+val scale : Complex.t -> t -> t
+
+val kron : t -> t -> t
+(** [kron a b] has [b]'s qubits as the low-order bits. *)
+
+val dagger : t -> t
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Entry-wise comparison with tolerance (default [1e-9]). *)
+
+val equal_up_to_phase : ?tol:float -> t -> t -> bool
+(** [true] when [a = e^{iφ} b] for some global phase [φ]. *)
+
+val is_unitary : ?tol:float -> t -> bool
+
+val of_one_qubit : Gate.one_qubit -> t
+(** The 2×2 unitary of a single-qubit kind. *)
+
+val of_two_qubit : Gate.two_qubit -> t
+(** The 4×4 unitary of a two-qubit kind. Operand order: the gate's first
+    operand is bit 0 (low bit) of the index; for [CX] the control is bit 0. *)
+
+val embed : t -> positions:int list -> n:int -> t
+(** [embed m ~positions ~n] lifts a [2^k × 2^k] matrix acting on [k] qubits
+    onto an [n]-qubit space, where [List.nth positions i] is the qubit that
+    carries bit [i] of the small index. Raises [Invalid_argument] on
+    duplicate or out-of-range positions. *)
+
+val of_gate : Gate.t -> positions:(int -> int) -> n:int -> t
+(** Full [2^n] unitary of a unitary gate, with operand qubits translated
+    through [positions]. Raises [Invalid_argument] on [Barrier]/[Measure]. *)
+
+val to_u3_angles : t -> float * float * float
+(** ZYZ decomposition of a 2×2 unitary: angles [(θ, φ, λ)] such that
+    [of_one_qubit (U3 (θ, φ, λ))] equals the input up to global phase.
+    Raises [Invalid_argument] on non-2×2 input. *)
+
+val commute : ?tol:float -> Gate.t -> Gate.t -> bool
+(** Exact commutation test: embeds both gates in their joint qubit space and
+    compares [AB] with [BA]. Raises [Invalid_argument] on non-unitary
+    gates. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+let depth c =
+  Dag.critical_path_length (Dag.of_circuit c) ~weight:(fun _ -> 1)
+
+let weighted_depth ~weight c =
+  Dag.critical_path_length (Dag.of_circuit c) ~weight
+
+let gate_count c = Circuit.length c
+
+let two_qubit_count c = List.length (Circuit.two_qubit_gates c)
+
+let swap_count c =
+  List.length (List.filter Gate.is_swap (Circuit.gates c))
+
+let count_by_name c =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      let k = Gate.name g in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    (Circuit.gates c);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

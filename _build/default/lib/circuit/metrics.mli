@@ -1,0 +1,17 @@
+(** Static circuit metrics.
+
+    [weighted_depth] is the paper's figure of merit: the length of the
+    critical path when every gate costs its hardware duration. On an
+    unrouted circuit it is a lower bound for any routed execution. *)
+
+val depth : Circuit.t -> int
+(** Critical-path length with unit gate durations. *)
+
+val weighted_depth : weight:(Gate.t -> int) -> Circuit.t -> int
+
+val gate_count : Circuit.t -> int
+val two_qubit_count : Circuit.t -> int
+val swap_count : Circuit.t -> int
+
+val count_by_name : Circuit.t -> (string * int) list
+(** Gate histogram keyed by {!Gate.name}, sorted by name. *)

@@ -1,0 +1,174 @@
+(* Rewrites preserve the circuit unitary up to global phase (dropping a
+   2π rotation or merging Z-family phases into U1 can shift it). *)
+
+let two_pi = 2. *. Float.pi
+
+let is_zero_angle a =
+  let r = Float.rem a two_pi in
+  Float.abs r < 1e-12 || Float.abs (Float.abs r -. two_pi) < 1e-12
+
+let is_identity = function
+  | Gate.One (Gate.I, _) -> true
+  | Gate.One ((Gate.Rx a | Gate.Ry a | Gate.Rz a | Gate.U1 a), _) ->
+    is_zero_angle a
+  | Gate.Two ((Gate.Rzz a | Gate.XX a), _, _) -> is_zero_angle a
+  | Gate.One
+      ( ( Gate.X | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.T
+        | Gate.Tdg | Gate.U2 _ | Gate.U3 _ ),
+        _ )
+  | Gate.Two ((Gate.CX | Gate.CZ | Gate.Swap), _, _)
+  | Gate.Barrier _ | Gate.Measure _ ->
+    false
+
+let remove_identities c =
+  Circuit.filter_gates (fun g -> not (is_identity g)) c
+
+(* A generic adjacent-pair sweep: when gate [g] finds gate [p] as the
+   immediate predecessor on every one of its qubits and they act on the same
+   qubit set, [combine p g] may cancel both or replace [p]. *)
+type action = Cancel | Replace of Gate.t | Keep
+
+let sweep combine c =
+  let gates = Circuit.gate_array c in
+  let n = Array.length gates in
+  let out : Gate.t option array = Array.map (fun g -> Some g) gates in
+  let stacks = Array.make (Circuit.n_qubits c) [] in
+  let qubit_set g = List.sort_uniq Stdlib.compare (Gate.qubits g) in
+  let push i g =
+    List.iter (fun q -> stacks.(q) <- i :: stacks.(q)) (qubit_set g)
+  in
+  let pop g =
+    List.iter
+      (fun q ->
+        match stacks.(q) with
+        | _ :: rest -> stacks.(q) <- rest
+        | [] -> assert false)
+      (qubit_set g)
+  in
+  for i = 0 to n - 1 do
+    let g = gates.(i) in
+    let qs = qubit_set g in
+    let pred =
+      match qs with
+      | [] -> None
+      | q0 :: rest -> (
+        match stacks.(q0) with
+        | [] -> None
+        | top :: _ ->
+          if
+            List.for_all
+              (fun q ->
+                match stacks.(q) with
+                | t :: _ -> t = top
+                | [] -> false)
+              rest
+          then
+            match out.(top) with
+            | Some p when qubit_set p = qs -> Some (top, p)
+            | Some _ | None -> None
+          else None)
+    in
+    match pred with
+    | Some (ip, p) -> (
+      match combine p g with
+      | Cancel ->
+        out.(ip) <- None;
+        out.(i) <- None;
+        pop p
+      | Replace p' ->
+        out.(ip) <- Some p';
+        out.(i) <- None
+      | Keep -> push i g)
+    | None -> push i g
+  done;
+  Circuit.make ~n_qubits:(Circuit.n_qubits c)
+    (List.filter_map Fun.id (Array.to_list out))
+
+let cancel_inverses c =
+  let combine p g =
+    if not (Gate.is_unitary p && Gate.is_unitary g) then Keep
+    else
+      match Gate.inverse g with
+      | Some gi when Gate.equal gi p -> Cancel
+      | Some _ | None -> Keep
+  in
+  sweep combine c
+
+(* Z/S/Sdg/T/Tdg/U1 all are phases diag(1, e^{iφ}); two in a row merge into
+   one U1. Same-axis rotations add their angles. *)
+let phase_of = function
+  | Gate.Z -> Some Float.pi
+  | Gate.S -> Some (Float.pi /. 2.)
+  | Gate.Sdg -> Some (-.Float.pi /. 2.)
+  | Gate.T -> Some (Float.pi /. 4.)
+  | Gate.Tdg -> Some (-.Float.pi /. 4.)
+  | Gate.U1 a -> Some a
+  | Gate.I | Gate.X | Gate.Y | Gate.H | Gate.Rx _ | Gate.Ry _ | Gate.Rz _
+  | Gate.U2 _ | Gate.U3 _ ->
+    None
+
+let merge_rotations c =
+  let combine p g =
+    match (p, g) with
+    | Gate.One (k1, q), Gate.One (k2, _) -> (
+      match (k1, k2) with
+      | Gate.Rx a, Gate.Rx b -> Replace (Gate.rx (a +. b) q)
+      | Gate.Ry a, Gate.Ry b -> Replace (Gate.ry (a +. b) q)
+      | Gate.Rz a, Gate.Rz b -> Replace (Gate.rz (a +. b) q)
+      | _ -> (
+        match (phase_of k1, phase_of k2) with
+        | Some a, Some b -> Replace (Gate.u1 (a +. b) q)
+        | (None, _ | _, None) -> Keep))
+    | Gate.Two (Gate.Rzz a, q1, q2), Gate.Two (Gate.Rzz b, _, _) ->
+      Replace (Gate.rzz (a +. b) q1 q2)
+    | Gate.Two (Gate.XX a, q1, q2), Gate.Two (Gate.XX b, _, _) ->
+      Replace (Gate.xx (a +. b) q1 q2)
+    | (Gate.One _ | Gate.Two _ | Gate.Barrier _ | Gate.Measure _), _ -> Keep
+  in
+  sweep combine c
+
+let fuse_single_qubit c =
+  let n = Circuit.n_qubits c in
+  let out_rev = ref [] in
+  (* pending.(q): the current run of 1-qubit gates on q, newest first *)
+  let pending : (Gate.t * Matrix.t) list array = Array.make n [] in
+  let flush q =
+    (match pending.(q) with
+    | [] -> ()
+    | [ (g, _) ] -> out_rev := g :: !out_rev
+    | run ->
+      (* newest-first means the accumulated product is simply folded *)
+      let product =
+        List.fold_left
+          (fun acc (_, m) -> Matrix.mul acc m)
+          (Matrix.identity 2)
+          run
+      in
+      if Matrix.equal_up_to_phase product (Matrix.identity 2) then ()
+      else
+        let theta, phi, lam = Matrix.to_u3_angles product in
+        out_rev := Gate.u3 theta phi lam q :: !out_rev);
+    pending.(q) <- []
+  in
+  List.iter
+    (fun g ->
+      match g with
+      | Gate.One (k, q) -> pending.(q) <- (g, Matrix.of_one_qubit k) :: pending.(q)
+      | Gate.Two _ | Gate.Barrier _ | Gate.Measure _ ->
+        List.iter flush (Gate.qubits g);
+        out_rev := g :: !out_rev)
+    (Circuit.gates c);
+  for q = 0 to n - 1 do
+    flush q
+  done;
+  Circuit.make ~n_qubits:n (List.rev !out_rev)
+
+let optimize ?(max_passes = 20) c =
+  let step c = remove_identities (merge_rotations (cancel_inverses c)) in
+  let rec go k c =
+    if k = 0 then c
+    else
+      let c' = step c in
+      if Circuit.equal c c' then c else go (k - 1) c'
+  in
+  go max_passes c

@@ -1,0 +1,32 @@
+(** Peephole circuit optimisation.
+
+    The standard pre-mapping clean-up pass of a ScaffCC/Qiskit-style
+    pipeline: drop identities, cancel adjacent inverse pairs (H–H, CX–CX,
+    S–Sdg, …), and merge runs of same-axis rotations. All rewrites are
+    local and semantics-preserving (checked against the state-vector
+    simulator in the test suite); a smaller input means less work for the
+    router and a shorter schedule. *)
+
+val remove_identities : Circuit.t -> Circuit.t
+(** Drop [I] gates and rotations by (multiples of) 2π. *)
+
+val cancel_inverses : Circuit.t -> Circuit.t
+(** One sweep: a gate directly followed — on all of its qubits, with no
+    interposed gate touching any of them — by its inverse is removed
+    together with it. *)
+
+val merge_rotations : Circuit.t -> Circuit.t
+(** One sweep: adjacent same-axis rotations on the same qubit(s) combine
+    ([Rz a; Rz b → Rz (a+b)], same for Rx/Ry/U1/Rzz/XX; [T]/[S]/[Z] count
+    as U1 phases and combine into one U1). *)
+
+val fuse_single_qubit : Circuit.t -> Circuit.t
+(** Collapse every run of ≥ 2 single-qubit gates on one qubit (ignoring
+    interleaved gates on other qubits) into a single [U3] via the ZYZ
+    decomposition; runs multiplying to the identity disappear entirely.
+    Exact up to global phase. *)
+
+val optimize : ?max_passes:int -> Circuit.t -> Circuit.t
+(** Iterate the three structural rewrites to a fixpoint (at most
+    [max_passes], default 20). [fuse_single_qubit] is not included — it
+    erases gate-set structure (everything becomes U3), so callers opt in. *)

@@ -1,0 +1,1 @@
+lib/codar/cf_front.ml: Array Hashtbl List Option Qc

@@ -1,0 +1,1 @@
+lib/codar/cf_front.mli: Qc

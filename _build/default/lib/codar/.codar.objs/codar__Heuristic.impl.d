@@ -1,0 +1,1 @@
+lib/codar/heuristic.ml: Arch Float List Stdlib

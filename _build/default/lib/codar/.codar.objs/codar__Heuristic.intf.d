@@ -1,0 +1,1 @@
+lib/codar/heuristic.mli: Arch

@@ -1,0 +1,1 @@
+lib/codar/remapper.ml: Arch Array Cf_front Fmt Hashtbl Heuristic List Qc Schedule Stdlib

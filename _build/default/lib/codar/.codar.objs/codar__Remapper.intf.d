@@ -1,0 +1,1 @@
+lib/codar/remapper.mli: Arch Qc Schedule

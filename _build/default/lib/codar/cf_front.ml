@@ -1,0 +1,28 @@
+let compute ?(window = 200) ?(max_chain = 20) ~commutes ~gates ~issued head =
+  let n = Array.length gates in
+  let chains : (int, Qc.Gate.t list) Hashtbl.t = Hashtbl.create 32 in
+  let saturated : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let chain q = Option.value ~default:[] (Hashtbl.find_opt chains q) in
+  let rec scan i seen acc =
+    if i >= n || seen >= window then List.rev acc
+    else if issued.(i) then scan (i + 1) seen acc
+    else begin
+      let g = gates.(i) in
+      let qs = Qc.Gate.qubits g in
+      let is_cf =
+        List.for_all
+          (fun q ->
+            (not (Hashtbl.mem saturated q))
+            && List.for_all (fun h -> commutes h g) (chain q))
+          qs
+      in
+      List.iter
+        (fun q ->
+          let c = chain q in
+          if List.length c >= max_chain then Hashtbl.replace saturated q ()
+          else Hashtbl.replace chains q (g :: c))
+        qs;
+      scan (i + 1) (seen + 1) (if is_cf then i :: acc else acc)
+    end
+  in
+  scan head 0 []

@@ -1,0 +1,25 @@
+(** Commutative Front detection (paper Definition 1, §IV-B).
+
+    A gate of the unissued sequence is a {e CF gate} iff it commutes with
+    every earlier unissued gate. Gates on disjoint qubits commute trivially,
+    so only per-qubit chains of earlier gates need checking. Two engineering
+    bounds keep this linear in practice (ablated in [bench/main.exe
+    ablation]): only the first [window] unissued gates are scanned, and a
+    qubit whose chain of pending gates exceeds [max_chain] conservatively
+    blocks later gates on it. *)
+
+val compute :
+  ?window:int ->
+  ?max_chain:int ->
+  commutes:(Qc.Gate.t -> Qc.Gate.t -> bool) ->
+  gates:Qc.Gate.t array ->
+  issued:bool array ->
+  int ->
+  int list
+(** [compute ~commutes ~gates ~issued head] returns the indices (ascending)
+    of CF gates among unissued gates, starting the scan at [head] (callers
+    keep [head] at the first unissued index). Defaults:
+    [window = 200], [max_chain = 20].
+
+    Passing [commutes = fun _ _ -> false] degrades the CF front to the plain
+    dependency-DAG front layer — the ablation knob. *)

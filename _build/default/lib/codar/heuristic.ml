@@ -1,0 +1,41 @@
+type priority = { basic : int; fine : float }
+
+let compare_priority a b =
+  match Stdlib.compare a.basic b.basic with
+  | 0 -> Stdlib.compare a.fine b.fine
+  | c -> c
+
+let distance_sum ~maqam ~layout pairs =
+  List.fold_left
+    (fun acc (q1, q2) ->
+      acc
+      + Arch.Maqam.distance maqam
+          (Arch.Layout.phys_of_log layout q1)
+          (Arch.Layout.phys_of_log layout q2))
+    0 pairs
+
+(* Physical endpoint of [q] after hypothetically swapping p1 <-> p2. *)
+let moved p1 p2 p = if p = p1 then p2 else if p = p2 then p1 else p
+
+let evaluate ~maqam ~layout ~cf_pairs ~swap:(p1, p2) =
+  let coupling = Arch.Maqam.coupling maqam in
+  let has_coords = Arch.Coupling.coords coupling <> None in
+  let basic = ref 0 and fine = ref 0. in
+  List.iter
+    (fun (q1, q2) ->
+      let a = Arch.Layout.phys_of_log layout q1 in
+      let b = Arch.Layout.phys_of_log layout q2 in
+      let a' = moved p1 p2 a and b' = moved p1 p2 b in
+      basic :=
+        !basic + Arch.Maqam.distance maqam a b
+        - Arch.Maqam.distance maqam a' b';
+      if has_coords then begin
+        match
+          ( Arch.Coupling.vertical_distance coupling a' b',
+            Arch.Coupling.horizontal_distance coupling a' b' )
+        with
+        | Some vd, Some hd -> fine := !fine -. Float.abs (vd -. hd)
+        | (None, _ | _, None) -> ()
+      end)
+    cf_pairs;
+  { basic = !basic; fine = !fine }

@@ -1,0 +1,26 @@
+(** CODAR's two-level SWAP priority (paper §IV-D).
+
+    [Hbasic] (Eq. 1) is the total coupling-distance reduction a candidate
+    SWAP brings to the two-qubit gates of the commutative front. [Hfine]
+    (Eq. 2) breaks ties on planar devices: it prefers mappings whose pending
+    gates have balanced horizontal/vertical distance, maximising the number
+    of shortest routing paths kept open. Priorities compare
+    lexicographically. *)
+
+type priority = { basic : int; fine : float }
+
+val compare_priority : priority -> priority -> int
+
+val evaluate :
+  maqam:Arch.Maqam.t ->
+  layout:Arch.Layout.t ->
+  cf_pairs:(int * int) list ->
+  swap:int * int ->
+  priority
+(** [evaluate ~maqam ~layout ~cf_pairs ~swap:(p1, p2)] scores swapping
+    physical qubits [p1]/[p2]. [cf_pairs] are the logical operand pairs of
+    the CF two-qubit gates. [fine] is 0 on devices without coordinates. *)
+
+val distance_sum :
+  maqam:Arch.Maqam.t -> layout:Arch.Layout.t -> (int * int) list -> int
+(** Σ of coupling distances of the logical pairs under the layout. *)

@@ -1,0 +1,31 @@
+(** Initial-mapping strategies.
+
+    "Initial mapping has been proved to be significant for the qubit mapping
+    problem" (paper §V-A). The evaluation uses SABRE's reverse traversal for
+    both routers; this module additionally provides the classic cheaper
+    strategies so the choice can be ablated (`bench/main.exe initmap`). *)
+
+type strategy =
+  | Trivial  (** logical [i] on physical [i] *)
+  | Random of int  (** uniformly random injective placement, seeded *)
+  | Degree_weighted
+      (** greedy: most-interacting logical qubits onto a BFS-contiguous
+          region grown from the highest-degree physical qubit *)
+  | Reverse_traversal of int
+      (** SABRE's forward+backward passes, [k] iterations *)
+
+val all : strategy list
+(** One representative of each (seed 7, one reverse-traversal pass). *)
+
+val name : strategy -> string
+
+val of_name : string -> strategy option
+(** ["trivial"], ["random"], ["random-<seed>"], ["degree"], ["sabre"],
+    ["sabre-<k>"]. *)
+
+val interaction_counts : Qc.Circuit.t -> int array
+(** Per logical qubit, the number of two-qubit gates touching it. *)
+
+val compute :
+  strategy -> maqam:Arch.Maqam.t -> Qc.Circuit.t -> Arch.Layout.t
+(** Raises [Invalid_argument] when the circuit is wider than the device. *)

@@ -1,0 +1,1 @@
+lib/qasm/lexer.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/qasm/parser.ml: Float Fmt Hashtbl Lexer List Qc String

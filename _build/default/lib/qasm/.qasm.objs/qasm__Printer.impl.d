@@ -1,0 +1,1 @@
+lib/qasm/printer.ml: Buffer Fmt Format List Qc

@@ -1,0 +1,94 @@
+type token =
+  | Ident of string
+  | Number of float
+  | Pi
+  | Arrow
+  | LParen
+  | RParen
+  | LBracket
+  | RBracket
+  | Comma
+  | Semicolon
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | String of string
+
+type located = { token : token; line : int }
+
+exception Lex_error of int * string
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let emit t = out := { token = t; line = !line } :: !out in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '-' when i + 1 < n && src.[i + 1] = '>' ->
+        emit Arrow;
+        go (i + 2)
+      | '(' -> emit LParen; go (i + 1)
+      | ')' -> emit RParen; go (i + 1)
+      | '[' -> emit LBracket; go (i + 1)
+      | ']' -> emit RBracket; go (i + 1)
+      | ',' -> emit Comma; go (i + 1)
+      | ';' -> emit Semicolon; go (i + 1)
+      | '+' -> emit Plus; go (i + 1)
+      | '-' -> emit Minus; go (i + 1)
+      | '*' -> emit Star; go (i + 1)
+      | '/' -> emit Slash; go (i + 1)
+      | '"' ->
+        let rec find j =
+          if j >= n then raise (Lex_error (!line, "unterminated string"))
+          else if src.[j] = '"' then j
+          else find (j + 1)
+        in
+        let close = find (i + 1) in
+        emit (String (String.sub src (i + 1) (close - i - 1)));
+        go (close + 1)
+      | c when is_digit c || (c = '.' && i + 1 < n && is_digit src.[i + 1]) ->
+        let rec scan j =
+          if
+            j < n
+            && (is_digit src.[j] || src.[j] = '.' || src.[j] = 'e'
+               || src.[j] = 'E'
+               || ((src.[j] = '+' || src.[j] = '-')
+                  && (src.[j - 1] = 'e' || src.[j - 1] = 'E')))
+          then scan (j + 1)
+          else j
+        in
+        let stop = scan i in
+        let text = String.sub src i (stop - i) in
+        (match float_of_string_opt text with
+        | Some f -> emit (Number f)
+        | None -> raise (Lex_error (!line, "bad number: " ^ text)));
+        go stop
+      | c when is_ident_start c ->
+        let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
+        let stop = scan i in
+        let text = String.sub src i (stop - i) in
+        (match String.lowercase_ascii text with
+        | "pi" -> emit Pi
+        | _ -> emit (Ident text));
+        go stop
+      | c -> raise (Lex_error (!line, Fmt.str "unexpected character %C" c))
+  in
+  go 0;
+  List.rev !out

@@ -1,0 +1,27 @@
+(** Tokenizer for the OpenQASM 2.0 subset (motivating examples in the paper
+    are written in OpenQASM; ScaffCC/Qiskit emit it). *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | Pi
+  | Arrow  (** [->] *)
+  | LParen
+  | RParen
+  | LBracket
+  | RBracket
+  | Comma
+  | Semicolon
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | String of string
+
+type located = { token : token; line : int }
+
+exception Lex_error of int * string
+(** line, message *)
+
+val tokenize : string -> located list
+(** Strips [//] comments. Raises {!Lex_error} on unexpected characters. *)

@@ -1,0 +1,20 @@
+(** OpenQASM 2.0 reader.
+
+    Supports the subset the mapping literature uses: [OPENQASM]/[include]
+    headers, [qreg]/[creg] declarations (multiple registers are flattened in
+    declaration order), the qelib1 gate set (applied built-ins below),
+    register broadcast, [barrier], [measure], and {e user [gate] macro
+    definitions}, which are expanded recursively at application time — so
+    ScaffCC/Qiskit output runs without shipping [qelib1.inc].
+
+    Built-ins: [id x y z h s sdg t tdg rx ry rz p u1 u2 u3 u U cx CX cz swap
+    rzz rxx ccx cswap cu1 cp crz]. Multi-qubit built-ins with no native gate
+    ([ccx], [cswap], [cu1]/[cp], [crz]) are decomposed via {!Qc.Decompose}. *)
+
+exception Parse_error of int * string
+(** line, message *)
+
+val parse : string -> Qc.Circuit.t
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_file : string -> Qc.Circuit.t

@@ -1,0 +1,55 @@
+let pp_angle ppf a = Fmt.pf ppf "%.17g" a
+
+let pp_gate ppf (g : Qc.Gate.t) =
+  let qubits ppf qs =
+    Fmt.pf ppf "%a" Fmt.(list ~sep:(Fmt.any ", ") (fmt "q[%d]")) qs
+  in
+  match g with
+  | Qc.Gate.One (k, q) -> (
+    match k with
+    | Qc.Gate.I -> Fmt.pf ppf "id q[%d];" q
+    | Qc.Gate.X -> Fmt.pf ppf "x q[%d];" q
+    | Qc.Gate.Y -> Fmt.pf ppf "y q[%d];" q
+    | Qc.Gate.Z -> Fmt.pf ppf "z q[%d];" q
+    | Qc.Gate.H -> Fmt.pf ppf "h q[%d];" q
+    | Qc.Gate.S -> Fmt.pf ppf "s q[%d];" q
+    | Qc.Gate.Sdg -> Fmt.pf ppf "sdg q[%d];" q
+    | Qc.Gate.T -> Fmt.pf ppf "t q[%d];" q
+    | Qc.Gate.Tdg -> Fmt.pf ppf "tdg q[%d];" q
+    | Qc.Gate.Rx a -> Fmt.pf ppf "rx(%a) q[%d];" pp_angle a q
+    | Qc.Gate.Ry a -> Fmt.pf ppf "ry(%a) q[%d];" pp_angle a q
+    | Qc.Gate.Rz a -> Fmt.pf ppf "rz(%a) q[%d];" pp_angle a q
+    | Qc.Gate.U1 a -> Fmt.pf ppf "u1(%a) q[%d];" pp_angle a q
+    | Qc.Gate.U2 (a, b) -> Fmt.pf ppf "u2(%a,%a) q[%d];" pp_angle a pp_angle b q
+    | Qc.Gate.U3 (a, b, c) ->
+      Fmt.pf ppf "u3(%a,%a,%a) q[%d];" pp_angle a pp_angle b pp_angle c q)
+  | Qc.Gate.Two (k, q1, q2) -> (
+    match k with
+    | Qc.Gate.CX -> Fmt.pf ppf "cx %a;" qubits [ q1; q2 ]
+    | Qc.Gate.CZ -> Fmt.pf ppf "cz %a;" qubits [ q1; q2 ]
+    | Qc.Gate.Swap -> Fmt.pf ppf "swap %a;" qubits [ q1; q2 ]
+    | Qc.Gate.XX a -> Fmt.pf ppf "rxx(%a) %a;" pp_angle a qubits [ q1; q2 ]
+    | Qc.Gate.Rzz a -> Fmt.pf ppf "rzz(%a) %a;" pp_angle a qubits [ q1; q2 ])
+  | Qc.Gate.Barrier qs -> Fmt.pf ppf "barrier %a;" qubits qs
+  | Qc.Gate.Measure (q, c) -> Fmt.pf ppf "measure q[%d] -> c[%d];" q c
+
+let n_clbits c =
+  List.fold_left
+    (fun acc g ->
+      match g with
+      | Qc.Gate.Measure (_, cl) -> max acc (cl + 1)
+      | Qc.Gate.One _ | Qc.Gate.Two _ | Qc.Gate.Barrier _ -> acc)
+    0 (Qc.Circuit.gates c)
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Fmt.pf ppf "OPENQASM 2.0;@\ninclude \"qelib1.inc\";@\n";
+  Fmt.pf ppf "qreg q[%d];@\n" (Qc.Circuit.n_qubits c);
+  let ncl = n_clbits c in
+  if ncl > 0 then Fmt.pf ppf "creg c[%d];@\n" ncl;
+  List.iter (fun g -> Fmt.pf ppf "%a@\n" pp_gate g) (Qc.Circuit.gates c);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let to_channel oc c = output_string oc (to_string c)

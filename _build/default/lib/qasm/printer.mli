@@ -1,0 +1,12 @@
+(** OpenQASM 2.0 writer — the inverse of {!Parser} on this library's gate
+    set, so routed circuits can be exported to any downstream toolchain. *)
+
+val pp_gate : Format.formatter -> Qc.Gate.t -> unit
+(** One statement, without the trailing newline. [XX] prints as [rxx]. *)
+
+val to_string : Qc.Circuit.t -> string
+(** Full program: header, [qreg q[n]], a [creg] sized to the highest
+    classical bit used (omitted when there are no measurements), then one
+    statement per gate. *)
+
+val to_channel : out_channel -> Qc.Circuit.t -> unit

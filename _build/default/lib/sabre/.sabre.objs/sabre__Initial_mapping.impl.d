@@ -1,0 +1,1 @@
+lib/sabre/initial_mapping.ml: Arch Qc Router

@@ -1,0 +1,1 @@
+lib/sabre/initial_mapping.mli: Arch Qc Router

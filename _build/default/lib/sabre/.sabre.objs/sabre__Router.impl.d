@@ -1,0 +1,1 @@
+lib/sabre/router.ml: Arch Array Float Hashtbl List Qc Queue Schedule Stdlib

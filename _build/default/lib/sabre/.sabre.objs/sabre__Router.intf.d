@@ -1,0 +1,1 @@
+lib/sabre/router.mli: Arch Qc Schedule

@@ -1,0 +1,15 @@
+let reverse_traversal ?(iterations = 1) ?(config = Router.default_config)
+    ~maqam circuit =
+  let n_physical = Arch.Maqam.n_qubits maqam in
+  let n_logical = Qc.Circuit.n_qubits circuit in
+  let reversed = Qc.Circuit.reverse circuit in
+  let rec go layout k =
+    if k = 0 then layout
+    else
+      let _, after_fwd = Router.route_gates ~config ~maqam ~initial:layout circuit in
+      let _, after_bwd =
+        Router.route_gates ~config ~maqam ~initial:after_fwd reversed
+      in
+      go after_bwd (k - 1)
+  in
+  go (Arch.Layout.identity ~n_logical ~n_physical) iterations

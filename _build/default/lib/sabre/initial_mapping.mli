@@ -1,0 +1,18 @@
+(** SABRE's reverse-traversal initial mapping (ASPLOS 2019, §V.B).
+
+    Routing the circuit forward from a trivial layout yields a final layout
+    that reflects where the early gates {e want} their qubits; routing the
+    {e reversed} circuit from that layout propagates the information back to
+    the start. CODAR's evaluation uses "the same method as SABRE to create
+    the initial mapping for the benchmarks" (paper §V-A), so both routers are
+    fed the layout computed here. *)
+
+val reverse_traversal :
+  ?iterations:int ->
+  ?config:Router.config ->
+  maqam:Arch.Maqam.t ->
+  Qc.Circuit.t ->
+  Arch.Layout.t
+(** [reverse_traversal ~maqam circuit] starts from the identity layout and
+    performs [iterations] (default 1) forward+backward passes, returning the
+    layout to start the real forward routing from. *)

@@ -1,0 +1,42 @@
+(** SABRE — the SWAP-based bidirectional heuristic router of Li, Ding & Xie
+    (ASPLOS 2019), the "best-known algorithm" CODAR is compared against
+    (paper §V).
+
+    Faithful to the original: a dependency-DAG front layer (no commutativity,
+    no notion of time), a look-ahead heuristic
+
+    {v H = decay(swap) · ( Σ_{g∈F} D[π(g)]/|F| + W · Σ_{g∈E} D[π(g)]/|E| ) v}
+
+    minimised over the SWAPs incident to the front gates' physical qubits,
+    with per-qubit decay factors discouraging consecutive SWAPs on the same
+    qubit. The emitted order is duration-{e un}aware; the caller scores it
+    with {!Schedule.Asap} under the device's real durations. *)
+
+type config = {
+  extended_size : int;  (** look-ahead window |E| (default 20) *)
+  extended_weight : float;  (** W (default 0.5) *)
+  decay_delta : float;  (** per-use decay increment (default 0.001) *)
+  decay_reset : int;  (** reset decay every this many SWAPs (default 5) *)
+}
+
+val default_config : config
+
+exception Stuck of string
+
+val run :
+  ?config:config ->
+  maqam:Arch.Maqam.t ->
+  initial:Arch.Layout.t ->
+  Qc.Circuit.t ->
+  Schedule.Routed.t
+(** Route and then ASAP-schedule with the machine's durations, so results
+    are directly comparable with CODAR's. *)
+
+val route_gates :
+  ?config:config ->
+  maqam:Arch.Maqam.t ->
+  initial:Arch.Layout.t ->
+  Qc.Circuit.t ->
+  Qc.Gate.t list * Arch.Layout.t
+(** The raw physical gate sequence and final layout (used by the
+    reverse-traversal initial-mapping pass, which needs layouts only). *)

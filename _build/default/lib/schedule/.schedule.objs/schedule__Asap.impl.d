@@ -1,0 +1,1 @@
+lib/schedule/asap.ml: Arch Array Fun List Qc Routed

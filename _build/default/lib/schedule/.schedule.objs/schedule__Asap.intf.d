@@ -1,0 +1,1 @@
+lib/schedule/asap.mli: Arch Qc Routed

@@ -1,0 +1,1 @@
+lib/schedule/routed.ml: Arch Array Fmt List Qc Stdlib

@@ -1,0 +1,1 @@
+lib/schedule/routed.mli: Arch Format Qc

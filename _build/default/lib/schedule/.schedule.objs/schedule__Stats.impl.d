@@ -1,0 +1,1 @@
+lib/schedule/stats.ml: Array Buffer Fmt List Qc Routed String

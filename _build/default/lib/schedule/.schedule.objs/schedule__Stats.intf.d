@@ -1,0 +1,1 @@
+lib/schedule/stats.mli: Format Qc Routed

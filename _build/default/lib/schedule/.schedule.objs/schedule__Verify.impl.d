@@ -1,0 +1,1 @@
+lib/schedule/verify.ml: Arch Array Fmt List Qc Result Routed Stdlib

@@ -1,0 +1,1 @@
+lib/schedule/verify.mli: Arch Format Qc Routed

@@ -1,0 +1,1 @@
+lib/sim/density.ml: Arch Array Complex List Noise Qc Schedule Statevector

@@ -1,0 +1,1 @@
+lib/sim/density.mli: Arch Complex Noise Qc Schedule Statevector

@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Arch Float List Qc Random Schedule Statevector

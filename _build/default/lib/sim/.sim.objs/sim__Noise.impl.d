@@ -1,0 +1,1 @@
+lib/sim/noise.ml: Arch Array Complex List Qc Random Schedule Statevector

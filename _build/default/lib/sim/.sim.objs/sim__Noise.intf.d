@@ -1,0 +1,1 @@
+lib/sim/noise.mli: Arch Qc Random Schedule Statevector

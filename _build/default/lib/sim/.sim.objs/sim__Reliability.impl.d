@@ -1,0 +1,1 @@
+lib/sim/reliability.ml: Arch Array List Qc Schedule

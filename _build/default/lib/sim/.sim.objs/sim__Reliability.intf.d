@@ -1,0 +1,1 @@
+lib/sim/reliability.mli: Arch Schedule

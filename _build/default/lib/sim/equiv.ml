@@ -1,0 +1,25 @@
+let routed_equivalent ?(trials = 3) ?(seed = 42) ?(tol = 1e-6) ~maqam
+    ~original (r : Schedule.Routed.t) =
+  let n_physical = Arch.Maqam.n_qubits maqam in
+  let n_logical = Qc.Circuit.n_qubits original in
+  let rng = Random.State.make [| seed |] in
+  let ok = ref true in
+  for _ = 1 to trials do
+    let psi = Statevector.random_state rng n_logical in
+    let ideal = Statevector.copy psi in
+    Statevector.apply_circuit ideal original;
+    let expected =
+      Statevector.embed ideal ~n_physical
+        ~place:(Arch.Layout.phys_of_log r.final)
+    in
+    let actual =
+      Statevector.embed psi ~n_physical
+        ~place:(Arch.Layout.phys_of_log r.initial)
+    in
+    List.iter
+      (fun e -> Statevector.apply actual e.Schedule.Routed.gate)
+      r.events;
+    if Float.abs (Statevector.fidelity expected actual -. 1.) > tol then
+      ok := false
+  done;
+  !ok

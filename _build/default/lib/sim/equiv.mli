@@ -1,0 +1,20 @@
+(** Exact (state-vector) equivalence of a routed circuit against its
+    original — the strongest correctness check we have, applicable on small
+    devices (≤ ~16 physical qubits).
+
+    Random logical input states are embedded through the initial layout,
+    pushed through every routed event, and compared against the ideal result
+    embedded through the final layout. SWAPs really move amplitudes, so any
+    routing bug (wrong SWAP bookkeeping, misdirected CX, lost gate) shows up
+    as a fidelity below 1. *)
+
+val routed_equivalent :
+  ?trials:int ->
+  ?seed:int ->
+  ?tol:float ->
+  maqam:Arch.Maqam.t ->
+  original:Qc.Circuit.t ->
+  Schedule.Routed.t ->
+  bool
+(** Default 3 trials, tolerance 1e-6. Raises [Invalid_argument] if the
+    device is too wide to simulate or the circuit contains [Measure]. *)

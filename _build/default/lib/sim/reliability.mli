@@ -1,0 +1,34 @@
+(** Analytic success-probability estimate for a routed schedule.
+
+    Extends the Fig. 9 comparison to circuits far beyond simulable size:
+    the estimated success probability is
+
+    {v  Π_events gate_fidelity(g)  ×  Π_qubits exp(−busy_or_idle(q)/T1) ×
+        exp(−busy_or_idle(q)/Tφ)  v}
+
+    — the standard first-order ESP model (Nielsen & Chuang §8; used by
+    noise-adaptive mappers). It captures both of the paper's competing
+    effects: CODAR inserts {e more} SWAPs (more gate error) but finishes
+    {e sooner} (less decoherence). Only qubits that host logical qubits at
+    some point contribute decoherence. *)
+
+val decoherence_factor :
+  calibration:Arch.Calibration.t -> active_cycles:float -> float
+(** [exp(−t/T1) · exp(−t/Tφ)] with [1/Tφ = 1/T2 − 1/(2T1)]. *)
+
+val estimated_success :
+  calibration:Arch.Calibration.t ->
+  n_physical:int ->
+  Schedule.Routed.t ->
+  float
+(** Product of per-gate fidelities and per-active-qubit decoherence over the
+    schedule's makespan. *)
+
+val compare_routers :
+  calibration:Arch.Calibration.t ->
+  n_physical:int ->
+  codar:Schedule.Routed.t ->
+  sabre:Schedule.Routed.t ->
+  float
+(** [estimated_success codar /. estimated_success sabre] — > 1 when CODAR's
+    shorter schedule wins despite extra SWAPs. *)

@@ -1,0 +1,1 @@
+lib/workloads/algorithms.ml: Builders List Qc

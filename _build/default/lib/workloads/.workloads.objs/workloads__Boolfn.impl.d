@@ -1,0 +1,1 @@
+lib/workloads/boolfn.ml: Array Fun List Qc

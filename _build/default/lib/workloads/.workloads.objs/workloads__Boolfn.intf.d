@@ -1,0 +1,1 @@
+lib/workloads/boolfn.mli: Qc

@@ -1,0 +1,1 @@
+lib/workloads/builders.ml: Float Fun List Qc Random

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Builders Fmt Lazy List Qc Stdlib

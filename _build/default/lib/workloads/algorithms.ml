@@ -1,0 +1,17 @@
+type named = { name : string; circuit : Qc.Circuit.t }
+
+let all =
+  [
+    { name = "ghz_6"; circuit = Builders.ghz 6 };
+    {
+      name = "bv_6";
+      circuit = Builders.bernstein_vazirani ~n:6 ~secret:0b10101;
+    };
+    { name = "qft_5"; circuit = Builders.qft 5 };
+    { name = "grover_3"; circuit = Builders.grover ~n:3 ~marked:5 ~iterations:1 };
+    { name = "dj_6"; circuit = Builders.deutsch_jozsa ~n:6 ~balanced:true };
+    { name = "adder_6"; circuit = Builders.cuccaro_adder ~bits:2 };
+    { name = "qaoa_6"; circuit = Builders.qaoa_ring ~n:6 ~layers:2 };
+  ]
+
+let find name = List.find_opt (fun a -> a.name = name) all

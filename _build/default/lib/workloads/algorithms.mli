@@ -1,0 +1,12 @@
+(** The "7 famous quantum algorithms" of the fidelity experiment (Fig. 9).
+
+    All fit on a 3×3 grid device so the noisy trajectory simulator stays
+    cheap (≤ 9 physical qubits → 512 amplitudes). *)
+
+type named = { name : string; circuit : Qc.Circuit.t }
+
+val all : named list
+(** GHZ, Bernstein–Vazirani, QFT, Grover, Deutsch–Jozsa, a Cuccaro adder and
+    a QAOA ring — seven algorithms, ≤ 9 qubits each. *)
+
+val find : string -> named option

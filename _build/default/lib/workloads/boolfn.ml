@@ -1,0 +1,69 @@
+type spec = { inputs : int; outputs : int; table : int -> int }
+
+(* PPRM coefficients via the binary Möbius transform: coefficient of the
+   monomial with support [m] is the XOR of f over all x ⊆ m. *)
+let pprm ~n f =
+  let size = 1 lsl n in
+  let coeff = Array.init size (fun x -> if f x then 1 else 0) in
+  for bit = 0 to n - 1 do
+    let b = 1 lsl bit in
+    for x = 0 to size - 1 do
+      if x land b <> 0 then coeff.(x) <- coeff.(x) lxor coeff.(x lxor b)
+    done
+  done;
+  let acc = ref [] in
+  for m = size - 1 downto 0 do
+    if coeff.(m) = 1 then acc := m :: !acc
+  done;
+  !acc
+
+let width spec = spec.inputs + spec.outputs + max 0 (spec.inputs - 2)
+
+let synthesize spec =
+  if spec.inputs < 1 || spec.outputs < 1 then
+    invalid_arg "Boolfn.synthesize: need inputs and outputs";
+  let out_base = spec.inputs in
+  let ancillas =
+    List.init (max 0 (spec.inputs - 2)) (fun i -> spec.inputs + spec.outputs + i)
+  in
+  let gates = ref [] in
+  let emit g = gates := g :: !gates in
+  for o = 0 to spec.outputs - 1 do
+    let f x = (spec.table x lsr o) land 1 = 1 in
+    let target = out_base + o in
+    List.iter
+      (fun monomial ->
+        let controls =
+          List.filteri (fun i _ -> monomial land (1 lsl i) <> 0)
+            (List.init spec.inputs Fun.id)
+        in
+        List.iter emit (Qc.Decompose.mcx ~controls ~target ~ancillas))
+      (pprm ~n:spec.inputs f)
+  done;
+  Qc.Circuit.make ~n_qubits:(width spec) (List.rev !gates)
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let rd32 = { inputs = 3; outputs = 2; table = popcount }
+
+let mod5 =
+  { inputs = 4; outputs = 1; table = (fun x -> if x mod 5 = 0 then 1 else 0) }
+
+let xor5 = { inputs = 5; outputs = 1; table = (fun x -> popcount x land 1) }
+
+let majority3 =
+  { inputs = 3; outputs = 1;
+    table = (fun x -> if popcount x >= 2 then 1 else 0) }
+
+let graycode4 = { inputs = 4; outputs = 4; table = (fun x -> x lxor (x lsr 1)) }
+
+let all_named =
+  [
+    ("rd32", rd32);
+    ("mod5", mod5);
+    ("xor5", xor5);
+    ("maj3", majority3);
+    ("gray4", graycode4);
+  ]

@@ -1,0 +1,45 @@
+(** Reversible synthesis of Boolean functions — real RevLib-style oracles.
+
+    RevLib benchmarks (rd32, mod5d1, xor5, …) are reversible circuits
+    computing small Boolean functions. This module synthesizes such circuits
+    from truth tables via the positive-polarity Reed–Muller (PPRM)
+    expansion: every Boolean function is a unique XOR of positive product
+    terms, and each term maps to one (multi-)controlled X onto the output
+    qubit. The result is exactly the Toffoli-network shape of the RevLib
+    corpus, with Toffolis/MCXs pre-decomposed into the CX basis. *)
+
+type spec = { inputs : int; outputs : int; table : int -> int }
+(** [table x] is the [outputs]-bit function value on the [inputs]-bit
+    argument [x] (row of the truth table). *)
+
+val pprm : n:int -> (int -> bool) -> int list
+(** PPRM monomials of a single-output function: each element is a bitmask of
+    the variables in one product term (0 = the constant-1 term). The
+    function is the XOR of all returned monomials. *)
+
+val synthesize : spec -> Qc.Circuit.t
+(** Circuit on [inputs + outputs + max 0 (inputs - 3)] qubits: inputs on
+    [0 .. inputs-1], outputs (initially |0⟩) on [inputs .. inputs+outputs-1],
+    then ancillas for wide controls. Inputs are preserved (classical
+    reversible embedding x ↦ (x, f(x))). *)
+
+val width : spec -> int
+(** Total qubits of the synthesized circuit. *)
+
+(** {2 Named functions from the RevLib corpus} *)
+
+val rd32 : spec
+(** 3-bit input weight (sum of bits), 2-bit output. *)
+
+val mod5 : spec
+(** 1 iff the 4-bit input ≡ 0 (mod 5). *)
+
+val xor5 : spec
+(** Parity of 5 bits. *)
+
+val majority3 : spec
+
+val graycode4 : spec
+(** 4-bit binary → Gray code. *)
+
+val all_named : (string * spec) list

@@ -1,0 +1,56 @@
+(** Circuit-family generators.
+
+    These replace the benchmark files the paper collected from IBM Qiskit,
+    RevLib, ScaffCC, Quipper and the SABRE artefact (none of which ship with
+    the paper): the same families, the same size range (3–36 qubits, tens to
+    ~30 000 gates), generated deterministically. All circuits are expressed
+    in the CX + single-qubit basis a NISQ mapper sees (Toffolis and
+    controlled phases arrive pre-decomposed, as ScaffCC emits them). *)
+
+val qft : ?reversal:bool -> int -> Qc.Circuit.t
+(** [n]-qubit Quantum Fourier Transform: the exact little-endian DFT matrix
+    (qubit [i] is bit [i] of a basis index). Controlled phases are
+    decomposed into CX + U1 (5 gates each); the bit-reversal layer is CX
+    triples, ScaffCC-style. [~reversal:false] omits that layer, leaving
+    [DFT∘R] — the common hardware-oriented form. *)
+
+val ghz : int -> Qc.Circuit.t
+(** H + CX chain preparing [(|0…0⟩ + |1…1⟩)/√2]. *)
+
+val bernstein_vazirani : n:int -> secret:int -> Qc.Circuit.t
+(** [n] qubits total: [n-1] data + 1 ancilla; [secret] is a bitmask over the
+    data qubits. *)
+
+val deutsch_jozsa : n:int -> balanced:bool -> Qc.Circuit.t
+
+val cuccaro_adder : bits:int -> Qc.Circuit.t
+(** Ripple-carry adder on [2·bits + 2] qubits (Cuccaro et al.), Toffolis
+    decomposed. *)
+
+val grover : n:int -> marked:int -> iterations:int -> Qc.Circuit.t
+(** Search over [n] data qubits ([2 ≤ n]); wider instances allocate
+    [max 0 (n-3)] dirty ancillas for the multi-controlled Z. *)
+
+val qaoa_ring : n:int -> layers:int -> Qc.Circuit.t
+(** MaxCut QAOA on a ring: Rzz cost layers + Rx mixers. *)
+
+val toffoli_chain : n:int -> reps:int -> Qc.Circuit.t
+(** [reps] sweeps of Toffolis over sliding windows of 3 qubits. *)
+
+val revlib_style : n:int -> toffolis:int -> seed:int -> Qc.Circuit.t
+(** Random reversible-logic oracle: a CX/X/CCX network with Toffolis
+    decomposed, in the spirit of the RevLib benchmarks. *)
+
+val w_state : int -> Qc.Circuit.t
+(** Cascade of controlled-Ry + CX preparing the W state. *)
+
+val simon : n:int -> secret:int -> Qc.Circuit.t
+(** [2·n] qubits; the oracle XORs data into ancillas with a [secret]-masked
+    collision structure. *)
+
+val phase_estimation : counting:int -> phase:float -> Qc.Circuit.t
+(** [counting + 1] qubits estimating [phase] of a U1 eigenvalue. *)
+
+val random_circuit :
+  n:int -> gates:int -> two_qubit_fraction:float -> seed:int -> Qc.Circuit.t
+(** Uniformly random circuit over {H, X, T, S, Rz} ∪ {CX}. *)

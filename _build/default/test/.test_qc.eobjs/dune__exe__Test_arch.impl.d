@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Arch Fmt Hashtbl List QCheck QCheck_alcotest Qc Random Stdlib

@@ -1,0 +1,1 @@
+test/test_astar.ml: Alcotest Arch Astar List Qc Schedule Sim Stdlib Workloads

@@ -1,0 +1,1 @@
+test/test_codar.ml: Alcotest Arch Array Codar List Qc Result Schedule Sim Workloads

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Arch Codar Float Fmt Lazy List QCheck QCheck_alcotest Qasm Qc Random Sabre Schedule Sim Workloads

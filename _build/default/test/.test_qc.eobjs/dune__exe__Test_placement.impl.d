@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Arch Codar Hashtbl List Placement Qc Schedule Workloads

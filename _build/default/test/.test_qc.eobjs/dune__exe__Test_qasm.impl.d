@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Array Filename Float Fmt List QCheck QCheck_alcotest Qasm Qc String Sys

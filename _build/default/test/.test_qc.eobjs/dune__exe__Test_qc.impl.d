@@ -1,0 +1,1 @@
+test/test_qc.ml: Alcotest Array Complex Float Fmt List QCheck QCheck_alcotest Qc

@@ -1,0 +1,1 @@
+test/test_sabre.ml: Alcotest Arch Codar List Qc Sabre Schedule Sim Workloads

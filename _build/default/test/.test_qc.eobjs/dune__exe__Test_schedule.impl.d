@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Arch Array Codar Float Fmt List Qc Schedule String

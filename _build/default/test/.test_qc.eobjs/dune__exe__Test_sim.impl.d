@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Arch Codar Complex Float Fmt List QCheck QCheck_alcotest Qc Random Schedule Sim Workloads

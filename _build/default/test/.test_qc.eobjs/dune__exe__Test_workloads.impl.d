@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Complex Float Fmt Lazy List QCheck QCheck_alcotest Qc Random Sim String Workloads

@@ -1,0 +1,422 @@
+(* Tests for the [arch] library: coupling graphs, device zoo, duration
+   profiles, layouts and the maQAM facade. *)
+
+(* --------------------------------------------------------------- coupling *)
+
+let test_make_validation () =
+  let reject name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "self loop" (fun () -> Arch.Coupling.make ~name:"x" ~n:3 [ (1, 1) ]);
+  reject "out of range" (fun () -> Arch.Coupling.make ~name:"x" ~n:3 [ (0, 3) ]);
+  reject "duplicate" (fun () ->
+      Arch.Coupling.make ~name:"x" ~n:3 [ (0, 1); (1, 0) ]);
+  reject "coords length" (fun () ->
+      Arch.Coupling.make ~coords:[| (0., 0.) |] ~name:"x" ~n:2 [ (0, 1) ])
+
+let test_path_distances () =
+  let path = Arch.Devices.linear 5 in
+  Alcotest.(check int) "d(0,4)" 4 (Arch.Coupling.distance path 0 4);
+  Alcotest.(check int) "d(2,2)" 0 (Arch.Coupling.distance path 2 2);
+  Alcotest.(check bool) "adjacent" true (Arch.Coupling.adjacent path 1 2);
+  Alcotest.(check bool) "not adjacent" false (Arch.Coupling.adjacent path 0 2);
+  Alcotest.(check bool) "not self-adjacent" false (Arch.Coupling.adjacent path 2 2);
+  Alcotest.(check (list int)) "neighbors" [ 1; 3 ] (Arch.Coupling.neighbors path 2);
+  Alcotest.(check int) "degree" 1 (Arch.Coupling.degree path 0)
+
+let test_disconnected () =
+  let g = Arch.Coupling.make ~name:"two-islands" ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "not connected" false (Arch.Coupling.connected g);
+  Alcotest.(check int) "infinite distance" max_int (Arch.Coupling.distance g 0 3)
+
+let test_coords () =
+  let g = Arch.Devices.grid ~rows:2 ~cols:3 in
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9)))) "coord of 4"
+    (Some (1., 1.)) (Arch.Coupling.coord g 4);
+  Alcotest.(check (option (float 1e-9))) "hd" (Some 2.)
+    (Arch.Coupling.horizontal_distance g 0 2);
+  Alcotest.(check (option (float 1e-9))) "vd" (Some 1.)
+    (Arch.Coupling.vertical_distance g 0 3);
+  let no_coords = Arch.Devices.fully_connected 4 in
+  Alcotest.(check (option (float 1e-9))) "no coords" None
+    (Arch.Coupling.horizontal_distance no_coords 0 1)
+
+(* distance properties on random connected graphs *)
+let graph_gen =
+  let open QCheck.Gen in
+  let* n = int_range 2 12 in
+  (* a random spanning tree plus random extra edges keeps it connected *)
+  let* tree =
+    flatten_l
+      (List.init (n - 1) (fun i ->
+           let* p = int_range 0 i in
+           return (p, i + 1)))
+  in
+  let* extra =
+    list_size (int_range 0 8)
+      (let* a = int_range 0 (n - 1) in
+       let* b = int_range 0 (n - 1) in
+       return (a, b))
+  in
+  let extra =
+    List.filter_map
+      (fun (a, b) ->
+        if a = b then None
+        else
+          let e = (min a b, max a b) in
+          if List.exists (fun (x, y) -> (min x y, max x y) = e) tree then None
+          else Some e)
+      extra
+    |> List.sort_uniq Stdlib.compare
+  in
+  return (n, tree @ extra)
+
+let graph_arb =
+  QCheck.make
+    ~print:(fun (n, es) ->
+      Fmt.str "n=%d edges=%a" n
+        Fmt.(list ~sep:(Fmt.any ";") (pair ~sep:(Fmt.any ",") int int))
+        es)
+    graph_gen
+
+let prop_distance_metric =
+  QCheck.Test.make ~count:200 ~name:"BFS distances form a metric" graph_arb
+    (fun (n, edges) ->
+      let g = Arch.Coupling.make ~name:"rand" ~n edges in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          let d = Arch.Coupling.distance g a b in
+          if d <> Arch.Coupling.distance g b a then ok := false;
+          if (d = 0) <> (a = b) then ok := false;
+          if (d = 1) <> Arch.Coupling.adjacent g a b then ok := false;
+          for c = 0 to n - 1 do
+            let dc = Arch.Coupling.distance g a c
+            and cb = Arch.Coupling.distance g c b in
+            if dc + cb < d then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* ---------------------------------------------------------------- devices *)
+
+let test_device_inventory () =
+  let check_device c name n edges connected =
+    Alcotest.(check string) (name ^ " name") name (Arch.Coupling.name c);
+    Alcotest.(check int) (name ^ " qubits") n (Arch.Coupling.n_qubits c);
+    Alcotest.(check int)
+      (name ^ " edges")
+      edges
+      (List.length (Arch.Coupling.edges c));
+    Alcotest.(check bool) (name ^ " connected") connected (Arch.Coupling.connected c)
+  in
+  check_device Arch.Devices.ibm_q5 "ibm-q5" 5 6 true;
+  check_device Arch.Devices.ibm_q16_melbourne "ibm-q16-melbourne" 16 22 true;
+  check_device Arch.Devices.ibm_q20_tokyo "ibm-q20-tokyo" 20 43 true;
+  check_device Arch.Devices.enfield_6x6 "enfield-6x6" 36 60 true;
+  check_device Arch.Devices.sycamore_54 "google-q54-sycamore" 54 88 true
+
+let test_sycamore_shape () =
+  let s = Arch.Devices.sycamore_54 in
+  (* a Sycamore-style lattice has maximum degree 4 *)
+  for q = 0 to 53 do
+    Alcotest.(check bool)
+      (Fmt.str "degree of %d <= 4" q)
+      true
+      (Arch.Coupling.degree s q <= 4)
+  done;
+  Alcotest.(check bool) "has coords" true (Arch.Coupling.coords s <> None)
+
+let test_tokyo_diagonals () =
+  let t = Arch.Devices.ibm_q20_tokyo in
+  Alcotest.(check bool) "grid edge" true (Arch.Coupling.adjacent t 0 1);
+  Alcotest.(check bool) "column edge" true (Arch.Coupling.adjacent t 0 5);
+  Alcotest.(check bool) "diagonal 1-7" true (Arch.Coupling.adjacent t 1 7);
+  Alcotest.(check bool) "diagonal 2-6" true (Arch.Coupling.adjacent t 2 6);
+  Alcotest.(check bool) "no diagonal 0-6" false (Arch.Coupling.adjacent t 0 6)
+
+let test_by_name () =
+  let is name expect =
+    match Arch.Devices.by_name name with
+    | Some c -> Alcotest.(check string) name expect (Arch.Coupling.name c)
+    | None -> Alcotest.failf "device %s not found" name
+  in
+  is "melbourne" "ibm-q16-melbourne";
+  is "TOKYO" "ibm-q20-tokyo";
+  is "6x6" "enfield-6x6";
+  is "sycamore" "google-q54-sycamore";
+  is "linear-7" "linear-7";
+  is "ring-6" "ring-6";
+  is "grid-3x4" "grid-3x4";
+  is "full-9" "full-9";
+  Alcotest.(check bool) "unknown" true (Arch.Devices.by_name "nope" = None);
+  Alcotest.(check bool) "bad arity" true (Arch.Devices.by_name "grid-3" = None)
+
+let test_ring_grid () =
+  let r = Arch.Devices.ring 6 in
+  Alcotest.(check int) "ring wrap distance" 1 (Arch.Coupling.distance r 0 5);
+  Alcotest.(check int) "ring opposite" 3 (Arch.Coupling.distance r 0 3);
+  let g = Arch.Devices.grid ~rows:3 ~cols:3 in
+  Alcotest.(check int) "grid corner to corner" 4 (Arch.Coupling.distance g 0 8);
+  let f = Arch.Devices.fully_connected 5 in
+  Alcotest.(check int) "full edges" 10 (List.length (Arch.Coupling.edges f))
+
+(* -------------------------------------------------------------- durations *)
+
+let test_durations () =
+  let d = Arch.Durations.superconducting in
+  Alcotest.(check int) "1q" 1 (Arch.Durations.of_gate d (Qc.Gate.h 0));
+  Alcotest.(check int) "2q" 2 (Arch.Durations.of_gate d (Qc.Gate.cx 0 1));
+  Alcotest.(check int) "swap" 6 (Arch.Durations.of_gate d (Qc.Gate.swap 0 1));
+  Alcotest.(check int) "cz" 2 (Arch.Durations.of_gate d (Qc.Gate.cz 0 1));
+  Alcotest.(check int) "barrier free" 0
+    (Arch.Durations.of_gate d (Qc.Gate.barrier [ 0 ]));
+  Alcotest.(check int) "measure" 5
+    (Arch.Durations.of_gate d (Qc.Gate.measure 0 0));
+  Alcotest.(check int) "ion 2q" 12
+    (Arch.Durations.of_gate Arch.Durations.ion_trap (Qc.Gate.xx 0.1 0 1));
+  Alcotest.(check bool) "2q slower than 1q on ion and sc" true
+    (Arch.Durations.two_qubit Arch.Durations.ion_trap
+     > Arch.Durations.one_qubit Arch.Durations.ion_trap
+    && Arch.Durations.two_qubit d > Arch.Durations.one_qubit d);
+  (* Table I: neutral atoms may run 2q gates faster than 1q *)
+  Alcotest.(check bool) "neutral atom inversion" true
+    (Arch.Durations.two_qubit Arch.Durations.neutral_atom
+     < Arch.Durations.one_qubit Arch.Durations.neutral_atom);
+  Alcotest.(check bool) "nonpositive rejected" true
+    (try
+       ignore
+         (Arch.Durations.make ~name:"bad" ~one_qubit:0 ~two_qubit:1 ~swap:1
+            ~measure:1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------ calibration *)
+
+let test_calibration () =
+  let c = Arch.Calibration.superconducting in
+  Alcotest.(check (float 1e-12)) "1q" 0.997
+    (Arch.Calibration.gate_fidelity c (Qc.Gate.h 0));
+  Alcotest.(check (float 1e-12)) "2q" 0.965
+    (Arch.Calibration.gate_fidelity c (Qc.Gate.cx 0 1));
+  Alcotest.(check (float 1e-9)) "swap = 3 cx" (0.965 ** 3.)
+    (Arch.Calibration.gate_fidelity c (Qc.Gate.swap 0 1));
+  Alcotest.(check (float 1e-12)) "barrier free" 1.
+    (Arch.Calibration.gate_fidelity c (Qc.Gate.barrier [ 0 ]));
+  Alcotest.(check (float 1e-12)) "readout" 0.93
+    (Arch.Calibration.gate_fidelity c (Qc.Gate.measure 0 0));
+  (* Table I: neutral atoms have superb 1q but poor 2q fidelity *)
+  let na = Arch.Calibration.neutral_atom in
+  Alcotest.(check bool) "neutral-atom contrast" true
+    (Arch.Calibration.one_qubit_fidelity na > 0.999
+    && Arch.Calibration.two_qubit_fidelity na < 0.9);
+  let rejects f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "fidelity > 1 rejected" true
+    (rejects (fun () ->
+         Arch.Calibration.make ~name:"bad" ~one_qubit_fidelity:1.2
+           ~two_qubit_fidelity:0.9 ~readout_fidelity:0.9 ~t1_cycles:10.
+           ~t2_cycles:10.));
+  Alcotest.(check bool) "t2 > 2 t1 rejected" true
+    (rejects (fun () ->
+         Arch.Calibration.make ~name:"bad" ~one_qubit_fidelity:0.99
+           ~two_qubit_fidelity:0.9 ~readout_fidelity:0.9 ~t1_cycles:10.
+           ~t2_cycles:30.))
+
+(* ----------------------------------------------------------------- layout *)
+
+let test_layout_identity () =
+  let l = Arch.Layout.identity ~n_logical:3 ~n_physical:5 in
+  Alcotest.(check int) "phys of 2" 2 (Arch.Layout.phys_of_log l 2);
+  Alcotest.(check (option int)) "log of 1" (Some 1) (Arch.Layout.log_of_phys l 1);
+  Alcotest.(check (option int)) "log of 4" None (Arch.Layout.log_of_phys l 4);
+  Alcotest.(check bool) "too many logical" true
+    (try
+       ignore (Arch.Layout.identity ~n_logical:6 ~n_physical:5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_layout_of_array () =
+  let l = Arch.Layout.of_array ~n_physical:4 [| 3; 1 |] in
+  Alcotest.(check int) "phys of 0" 3 (Arch.Layout.phys_of_log l 0);
+  Alcotest.(check (option int)) "log of 3" (Some 0) (Arch.Layout.log_of_phys l 3);
+  Alcotest.(check bool) "non-injective" true
+    (try
+       ignore (Arch.Layout.of_array ~n_physical:4 [| 1; 1 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (Arch.Layout.of_array ~n_physical:2 [| 2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_layout_swap () =
+  let l = Arch.Layout.identity ~n_logical:2 ~n_physical:4 in
+  (* swap an occupied with a free physical qubit *)
+  let l1 = Arch.Layout.swap_physical l 1 3 in
+  Alcotest.(check int) "logical 1 moved" 3 (Arch.Layout.phys_of_log l1 1);
+  Alcotest.(check (option int)) "phys 1 freed" None (Arch.Layout.log_of_phys l1 1);
+  (* double swap is identity *)
+  let l2 = Arch.Layout.swap_physical l1 1 3 in
+  Alcotest.(check bool) "involution" true (Arch.Layout.equal l l2);
+  (* original layout untouched (pure) *)
+  Alcotest.(check int) "pure" 1 (Arch.Layout.phys_of_log l 1)
+
+let prop_layout_swap_consistent =
+  QCheck.Test.make ~count:200 ~name:"layout stays a partial bijection"
+    QCheck.(pair (pair small_nat small_nat) (list (pair small_nat small_nat)))
+    (fun ((a, b), swaps) ->
+      let n_logical = 1 + (a mod 6) in
+      let n_physical = n_logical + (b mod 6) in
+      let l =
+        List.fold_left
+          (fun l (p1, p2) ->
+            Arch.Layout.swap_physical l (p1 mod n_physical) (p2 mod n_physical))
+          (Arch.Layout.identity ~n_logical ~n_physical)
+          swaps
+      in
+      let ok = ref true in
+      for lg = 0 to n_logical - 1 do
+        match Arch.Layout.log_of_phys l (Arch.Layout.phys_of_log l lg) with
+        | Some lg' -> if lg <> lg' then ok := false
+        | None -> ok := false
+      done;
+      !ok)
+
+let test_layout_random () =
+  let rng = Random.State.make [| 1; 2; 3 |] in
+  let l = Arch.Layout.random rng ~n_logical:5 ~n_physical:9 in
+  let seen = Hashtbl.create 8 in
+  for lg = 0 to 4 do
+    let p = Arch.Layout.phys_of_log l lg in
+    Alcotest.(check bool) "in range" true (p >= 0 && p < 9);
+    Alcotest.(check bool) "fresh" false (Hashtbl.mem seen p);
+    Hashtbl.replace seen p ()
+  done
+
+(* -------------------------------------------------------------- direction *)
+
+let test_direction_symmetric () =
+  let d = Arch.Direction.symmetric (Arch.Devices.linear 3) in
+  Alcotest.(check bool) "both ways" true
+    (Arch.Direction.allows d ~control:0 ~target:1
+    && Arch.Direction.allows d ~control:1 ~target:0);
+  Alcotest.(check bool) "non-edge" false
+    (Arch.Direction.allows d ~control:0 ~target:2)
+
+let test_direction_validation () =
+  let rejects f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "non-coupler rejected" true
+    (rejects (fun () ->
+         Arch.Direction.of_directed_edges (Arch.Devices.linear 3) [ (0, 2) ]));
+  Alcotest.(check bool) "uncovered edge rejected" true
+    (rejects (fun () ->
+         Arch.Direction.of_directed_edges (Arch.Devices.linear 3) [ (0, 1) ]))
+
+let test_direction_fix () =
+  let d = Arch.Direction.ibm_q5_directed in
+  (* 1→0 is allowed, 0→1 is not: the reversed CX gets H-conjugated *)
+  let bad = Qc.Circuit.make ~n_qubits:5 [ Qc.Gate.cx 0 1 ] in
+  Alcotest.(check bool) "not conformant before" false
+    (Arch.Direction.conforms d bad);
+  let fixed = Arch.Direction.fix_circuit d bad in
+  Alcotest.(check bool) "conformant after" true (Arch.Direction.conforms d fixed);
+  Alcotest.(check int) "4 H + 1 CX" 5 (Qc.Circuit.length fixed);
+  (* the rewrite preserves the unitary *)
+  let m c =
+    List.fold_left
+      (fun acc g ->
+        Qc.Matrix.mul (Qc.Matrix.of_gate g ~positions:(fun q -> q) ~n:2) acc)
+      (Qc.Matrix.identity 4)
+      (List.map
+         (Qc.Gate.remap (fun q -> q)) (* already on qubits 0/1 *)
+         (Qc.Circuit.gates c))
+  in
+  Alcotest.(check bool) "unitary preserved" true
+    (Qc.Matrix.approx_equal (m bad) (m fixed));
+  (* allowed CX and symmetric gates pass through untouched *)
+  let ok =
+    Qc.Circuit.make ~n_qubits:5 [ Qc.Gate.cx 1 0; Qc.Gate.cz 0 1 ]
+  in
+  Alcotest.(check bool) "untouched" true
+    (Qc.Circuit.equal ok (Arch.Direction.fix_circuit d ok));
+  (* non-edge 2q gates are the router's job *)
+  Alcotest.(check bool) "non-edge rejected" true
+    (try
+       ignore
+         (Arch.Direction.fix_circuit d
+            (Qc.Circuit.make ~n_qubits:5 [ Qc.Gate.cx 0 3 ]));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ maqam *)
+
+let test_maqam () =
+  let m =
+    Arch.Maqam.make ~coupling:(Arch.Devices.linear 4)
+      ~durations:Arch.Durations.superconducting
+  in
+  Alcotest.(check int) "qubits" 4 (Arch.Maqam.n_qubits m);
+  Alcotest.(check bool) "adjacent" true (Arch.Maqam.adjacent m 1 2);
+  Alcotest.(check int) "distance" 3 (Arch.Maqam.distance m 0 3);
+  Alcotest.(check int) "duration" 6 (Arch.Maqam.duration m (Qc.Gate.swap 0 1));
+  let layout = Arch.Layout.identity ~n_logical:3 ~n_physical:4 in
+  Alcotest.(check bool) "fits adjacent 2q" true
+    (Arch.Maqam.fits m layout (Qc.Gate.cx 1 2));
+  Alcotest.(check bool) "does not fit distant 2q" false
+    (Arch.Maqam.fits m layout (Qc.Gate.cx 0 2));
+  Alcotest.(check bool) "1q always fits" true
+    (Arch.Maqam.fits m layout (Qc.Gate.h 0))
+
+let () =
+  Alcotest.run "arch"
+    [
+      ( "coupling",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "path distances" `Quick test_path_distances;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "coords" `Quick test_coords;
+          QCheck_alcotest.to_alcotest prop_distance_metric;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "inventory" `Quick test_device_inventory;
+          Alcotest.test_case "sycamore shape" `Quick test_sycamore_shape;
+          Alcotest.test_case "tokyo diagonals" `Quick test_tokyo_diagonals;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "ring/grid/full" `Quick test_ring_grid;
+        ] );
+      ("durations", [ Alcotest.test_case "profiles" `Quick test_durations ]);
+      ("calibration", [ Alcotest.test_case "presets" `Quick test_calibration ]);
+      ( "layout",
+        [
+          Alcotest.test_case "identity" `Quick test_layout_identity;
+          Alcotest.test_case "of_array" `Quick test_layout_of_array;
+          Alcotest.test_case "swap" `Quick test_layout_swap;
+          Alcotest.test_case "random" `Quick test_layout_random;
+          QCheck_alcotest.to_alcotest prop_layout_swap_consistent;
+        ] );
+      ( "direction",
+        [
+          Alcotest.test_case "symmetric" `Quick test_direction_symmetric;
+          Alcotest.test_case "validation" `Quick test_direction_validation;
+          Alcotest.test_case "fix circuit" `Quick test_direction_fix;
+        ] );
+      ("maqam", [ Alcotest.test_case "facade" `Quick test_maqam ]);
+    ]

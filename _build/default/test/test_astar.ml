@@ -1,0 +1,136 @@
+(* Tests for the Zulehner-style layered A* baseline. *)
+
+let sc = Arch.Durations.superconducting
+
+let maqam_linear n =
+  Arch.Maqam.make ~coupling:(Arch.Devices.linear n) ~durations:sc
+
+let maqam_tokyo =
+  Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo ~durations:sc
+
+let identity nl np = Arch.Layout.identity ~n_logical:nl ~n_physical:np
+
+(* ----------------------------------------------------------------- layers *)
+
+let test_partition_disjoint () =
+  let c =
+    Qc.Circuit.make ~n_qubits:4
+      [ Qc.Gate.h 0; Qc.Gate.cx 1 2; Qc.Gate.x 3; (* all disjoint *)
+        Qc.Gate.cx 0 1; (* conflicts with cx 1 2 *)
+        Qc.Gate.t 3 ]
+  in
+  match Astar.Layers.partition c with
+  | [ first; second ] ->
+    Alcotest.(check int) "first layer" 3 (List.length first);
+    Alcotest.(check int) "second layer" 2 (List.length second)
+  | layers -> Alcotest.failf "expected 2 layers, got %d" (List.length layers)
+
+let test_partition_barrier () =
+  let c =
+    Qc.Circuit.make ~n_qubits:2
+      [ Qc.Gate.h 0; Qc.Gate.barrier [ 0; 1 ]; Qc.Gate.h 1 ]
+  in
+  Alcotest.(check int) "barrier forces layers" 3
+    (List.length (Astar.Layers.partition c))
+
+let test_partition_preserves_gates () =
+  let c = Workloads.Builders.qft 5 in
+  let layers = Astar.Layers.partition c in
+  Alcotest.(check int) "no gate lost"
+    (Qc.Circuit.length c)
+    (List.fold_left (fun acc l -> acc + List.length l) 0 layers);
+  (* every layer qubit-disjoint *)
+  List.iter
+    (fun layer ->
+      let qs = List.concat_map Qc.Gate.qubits layer in
+      Alcotest.(check int) "disjoint"
+        (List.length qs)
+        (List.length (List.sort_uniq Stdlib.compare qs)))
+    layers
+
+(* ----------------------------------------------------------------- router *)
+
+let test_no_swaps_when_adjacent () =
+  let c = Qc.Circuit.make ~n_qubits:3 [ Qc.Gate.cx 0 1; Qc.Gate.cx 1 2 ] in
+  let r = Astar.Router.run ~maqam:(maqam_linear 3) ~initial:(identity 3 3) c in
+  Alcotest.(check int) "no swaps" 0 (Schedule.Routed.swap_count r)
+
+let test_minimal_swaps_on_line () =
+  (* cx 0 3 on a 4-line: the optimal solution is exactly 2 SWAPs *)
+  let c = Qc.Circuit.make ~n_qubits:4 [ Qc.Gate.cx 0 3 ] in
+  let r = Astar.Router.run ~maqam:(maqam_linear 4) ~initial:(identity 4 4) c in
+  Alcotest.(check int) "A* finds the optimum" 2 (Schedule.Routed.swap_count r);
+  match
+    Schedule.Verify.check_all ~maqam:(maqam_linear 4) ~original:c r
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verify: %a" Schedule.Verify.pp_error e
+
+let test_verified_on_workloads () =
+  List.iter
+    (fun c ->
+      let initial = identity (Qc.Circuit.n_qubits c) 20 in
+      let r = Astar.Router.run ~maqam:maqam_tokyo ~initial c in
+      match Schedule.Verify.check_all ~maqam:maqam_tokyo ~original:c r with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "verify: %a" Schedule.Verify.pp_error e)
+    [
+      Workloads.Builders.qft 8;
+      Workloads.Builders.cuccaro_adder ~bits:3;
+      Workloads.Builders.qaoa_ring ~n:10 ~layers:2;
+      Workloads.Builders.random_circuit ~n:12 ~gates:300 ~two_qubit_fraction:0.5
+        ~seed:5;
+    ]
+
+let test_statevector_equiv () =
+  let c = Workloads.Builders.qft 5 in
+  let maqam =
+    Arch.Maqam.make ~coupling:(Arch.Devices.grid ~rows:2 ~cols:3) ~durations:sc
+  in
+  let r = Astar.Router.run ~maqam ~initial:(identity 5 6) c in
+  Alcotest.(check bool) "equivalent" true
+    (Sim.Equiv.routed_equivalent ~maqam ~original:c r)
+
+let test_greedy_fallback () =
+  (* expansion cap 0 forces the greedy fallback; results must stay valid *)
+  let c = Workloads.Builders.qft 6 in
+  let config = { Astar.Router.max_expansions = 0 } in
+  let r =
+    Astar.Router.run ~config ~maqam:maqam_tokyo ~initial:(identity 6 20) c
+  in
+  match Schedule.Verify.check_all ~maqam:maqam_tokyo ~original:c r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fallback verify: %a" Schedule.Verify.pp_error e
+
+let test_wide_rejected () =
+  Alcotest.(check bool) "width check" true
+    (try
+       ignore
+         (Astar.Router.run ~maqam:(maqam_linear 2) ~initial:(identity 3 3)
+            (Qc.Circuit.empty 3));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "astar"
+    [
+      ( "layers",
+        [
+          Alcotest.test_case "disjoint" `Quick test_partition_disjoint;
+          Alcotest.test_case "barrier" `Quick test_partition_barrier;
+          Alcotest.test_case "preserves gates" `Quick
+            test_partition_preserves_gates;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "no swaps when adjacent" `Quick
+            test_no_swaps_when_adjacent;
+          Alcotest.test_case "optimal on line" `Quick
+            test_minimal_swaps_on_line;
+          Alcotest.test_case "verified workloads" `Quick
+            test_verified_on_workloads;
+          Alcotest.test_case "statevector equiv" `Quick test_statevector_equiv;
+          Alcotest.test_case "greedy fallback" `Quick test_greedy_fallback;
+          Alcotest.test_case "wide rejected" `Quick test_wide_rejected;
+        ] );
+    ]

@@ -1,0 +1,380 @@
+(* Tests for the CODAR core: commutative-front detection, the two-level
+   heuristic, and the remapper — including the paper's motivating scenarios
+   (Fig. 1 and Fig. 2). *)
+
+let sc = Arch.Durations.superconducting
+
+(* the 4-qubit square of the motivating examples: Q0-Q1, Q0-Q2, Q1-Q3, Q2-Q3 *)
+let square =
+  Arch.Coupling.make ~name:"square-4" ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let maqam_square = Arch.Maqam.make ~coupling:square ~durations:sc
+
+let maqam_linear n =
+  Arch.Maqam.make ~coupling:(Arch.Devices.linear n) ~durations:sc
+
+let maqam_grid33 =
+  Arch.Maqam.make ~coupling:(Arch.Devices.grid ~rows:3 ~cols:3) ~durations:sc
+
+let identity n = Arch.Layout.identity ~n_logical:n ~n_physical:n
+
+let run ?config maqam circuit =
+  let initial =
+    Arch.Layout.identity
+      ~n_logical:(Qc.Circuit.n_qubits circuit)
+      ~n_physical:(Arch.Maqam.n_qubits maqam)
+  in
+  Codar.Remapper.run ?config ~maqam ~initial circuit
+
+(* --------------------------------------------------------------- cf_front *)
+
+let cf ?window ?max_chain gates =
+  let gates = Array.of_list gates in
+  let issued = Array.make (Array.length gates) false in
+  Codar.Cf_front.compute ?window ?max_chain ~commutes:Qc.Commute.commutes
+    ~gates ~issued 0
+
+let test_cf_basics () =
+  (* shared-target CXs all commute: every gate is CF (the paper's §IV-B
+     example) *)
+  Alcotest.(check (list int)) "commuting CX pair" [ 0; 1 ]
+    (cf [ Qc.Gate.cx 1 3; Qc.Gate.cx 2 3 ]);
+  (* a control-target chain blocks *)
+  Alcotest.(check (list int)) "blocking CX pair" [ 0 ]
+    (cf [ Qc.Gate.cx 0 1; Qc.Gate.cx 1 2 ]);
+  (* disjoint gates are all CF *)
+  Alcotest.(check (list int)) "disjoint" [ 0; 1; 2 ]
+    (cf [ Qc.Gate.h 0; Qc.Gate.h 1; Qc.Gate.h 2 ]);
+  (* H blocks its qubit, disjoint gate still CF *)
+  Alcotest.(check (list int)) "mixed" [ 0; 2 ]
+    (cf [ Qc.Gate.h 0; Qc.Gate.cx 0 1; Qc.Gate.x 2 ])
+
+let test_cf_transitive_block () =
+  (* the first unissued gate is always CF; later gates must commute with
+     every earlier unissued gate sharing a qubit *)
+  let gates =
+    [ Qc.Gate.h 0;        (* CF *)
+      Qc.Gate.t 0;        (* blocked by h (H and T don't commute) *)
+      Qc.Gate.cx 0 1 ]    (* blocked: doesn't commute with h on qubit 0 *)
+  in
+  Alcotest.(check (list int)) "chain" [ 0 ] (cf gates)
+
+let test_cf_issued_skipped () =
+  let gates = Array.of_list [ Qc.Gate.h 0; Qc.Gate.t 0 ] in
+  let issued = [| true; false |] in
+  Alcotest.(check (list int)) "after issue" [ 1 ]
+    (Codar.Cf_front.compute ~commutes:Qc.Commute.commutes ~gates ~issued 0)
+
+let test_cf_window () =
+  let gates = List.init 10 (fun i -> Qc.Gate.h i) in
+  Alcotest.(check (list int)) "window limits scan" [ 0; 1; 2 ]
+    (cf ~window:3 gates)
+
+let test_cf_max_chain () =
+  (* once a qubit's pending chain exceeds [max_chain] it saturates and
+     conservatively blocks later gates, commuting or not *)
+  let gates = List.init 7 (fun i -> Qc.Gate.rz (0.1 *. float_of_int i) 0) in
+  Alcotest.(check (list int)) "saturation blocks conservatively"
+    [ 0; 1; 2; 3; 4; 5 ]
+    (cf ~max_chain:5 gates)
+
+let test_cf_dag_mode () =
+  (* commutes = always-false degrades to the plain DAG front layer *)
+  let gates =
+    Array.of_list [ Qc.Gate.cx 1 3; Qc.Gate.cx 2 3; Qc.Gate.h 0 ]
+  in
+  let issued = Array.make 3 false in
+  Alcotest.(check (list int)) "dag front" [ 0; 2 ]
+    (Codar.Cf_front.compute ~commutes:(fun _ _ -> false) ~gates ~issued 0)
+
+(* -------------------------------------------------------------- heuristic *)
+
+let test_hbasic () =
+  let layout = identity 9 in
+  (* CX q0,q8 on the 3x3 grid: distance 4 *)
+  let pr swap =
+    Codar.Heuristic.evaluate ~maqam:maqam_grid33 ~layout ~cf_pairs:[ (0, 8) ]
+      ~swap
+  in
+  Alcotest.(check int) "toward: +1" 1 (pr (0, 1)).Codar.Heuristic.basic;
+  Alcotest.(check int) "toward: +1 (vertical)" 1 (pr (0, 3)).Codar.Heuristic.basic;
+  (* swapping two uninvolved qubits changes nothing *)
+  Alcotest.(check int) "neutral" 0 (pr (4, 5)).Codar.Heuristic.basic;
+  (* moving q4's host from the centre to the far corner: 2 -> 4 *)
+  Alcotest.(check int) "away is negative" (-2)
+    (Codar.Heuristic.evaluate ~maqam:maqam_grid33 ~layout
+       ~cf_pairs:[ (0, 4) ] ~swap:(4, 8)).Codar.Heuristic.basic
+
+let test_hfine_prefers_balance () =
+  let layout = identity 9 in
+  (* pair (0,5): phys 0 at (0,0), phys 5 at (2,1): HD=2, VD=1.
+     Swap (0,1) moves q0 to (1,0): HD=1, VD=1 -> fine 0.
+     Swap (0,3) moves q0 to (0,1): HD=2, VD=0 -> fine -2.
+     Both have basic = 1; fine must break the tie toward (0,1). *)
+  let pr swap =
+    Codar.Heuristic.evaluate ~maqam:maqam_grid33 ~layout ~cf_pairs:[ (0, 5) ]
+      ~swap
+  in
+  let a = pr (0, 1) and b = pr (0, 3) in
+  Alcotest.(check int) "equal basic" a.Codar.Heuristic.basic b.Codar.Heuristic.basic;
+  Alcotest.(check bool) "fine prefers balanced" true
+    (Codar.Heuristic.compare_priority a b > 0);
+  (* no coordinates -> fine is 0 *)
+  let m = Arch.Maqam.make ~coupling:(Arch.Devices.fully_connected 4) ~durations:sc in
+  let p =
+    Codar.Heuristic.evaluate ~maqam:m ~layout:(identity 4)
+      ~cf_pairs:[ (0, 3) ] ~swap:(0, 1)
+  in
+  Alcotest.(check (float 1e-9)) "fine 0 without coords" 0. p.Codar.Heuristic.fine
+
+let test_distance_sum () =
+  Alcotest.(check int) "sum over pairs" 6
+    (Codar.Heuristic.distance_sum ~maqam:maqam_grid33 ~layout:(identity 9)
+       [ (0, 8); (0, 4) ])
+
+(* --------------------------------------------------- remapper: paper figs *)
+
+let find_first_swap r =
+  List.find_opt
+    (fun e -> Qc.Gate.is_swap e.Schedule.Routed.gate)
+    (Schedule.Routed.events_by_start r)
+
+let test_fig1_context () =
+  (* T q2; CX q0,q3 — the chosen SWAP must avoid busy Q2 and start at 0 *)
+  let circuit =
+    Qc.Circuit.make ~n_qubits:4 [ Qc.Gate.t 2; Qc.Gate.cx 0 3 ]
+  in
+  let r = run maqam_square circuit in
+  (match find_first_swap r with
+  | Some { Schedule.Routed.gate = Qc.Gate.Two (Qc.Gate.Swap, a, b); start; _ }
+    ->
+    Alcotest.(check bool) "swap avoids Q2" false (a = 2 || b = 2);
+    Alcotest.(check int) "swap starts in parallel with T" 0 start
+  | Some _ | None -> Alcotest.fail "expected an inserted SWAP");
+  Alcotest.(check int) "makespan 8 (parallel), not 9 (serial)" 8 r.makespan
+
+let test_fig2_duration () =
+  (* T q1; CX q0,q2; CX q0,q3 — the SWAP must be (Q1,Q3) at cycle 1: Q1
+     frees after the 1-cycle T while Q0/Q2 are busy until cycle 2 *)
+  let circuit =
+    Qc.Circuit.make ~n_qubits:4
+      [ Qc.Gate.t 1; Qc.Gate.cx 0 2; Qc.Gate.cx 0 3 ]
+  in
+  let r = run maqam_square circuit in
+  (match find_first_swap r with
+  | Some { Schedule.Routed.gate = Qc.Gate.Two (Qc.Gate.Swap, a, b); start; _ }
+    ->
+    Alcotest.(check (pair int int)) "swap pair (1,3)" (1, 3)
+      (min a b, max a b);
+    Alcotest.(check int) "starts at cycle 1" 1 start
+  | Some _ | None -> Alcotest.fail "expected an inserted SWAP");
+  Alcotest.(check int) "makespan" 9 r.makespan
+
+(* --------------------------------------------------- remapper: invariants *)
+
+let test_no_swaps_when_adjacent () =
+  let circuit =
+    Qc.Circuit.make ~n_qubits:4
+      [ Qc.Gate.cx 0 1; Qc.Gate.cx 1 2; Qc.Gate.cx 2 3; Qc.Gate.h 0 ]
+  in
+  let r = run (maqam_linear 4) circuit in
+  Alcotest.(check int) "no swaps" 0 (Schedule.Routed.swap_count r);
+  Alcotest.(check int) "all gates present" 4 (Schedule.Routed.gate_count r)
+
+let test_one_qubit_only () =
+  let circuit =
+    Qc.Circuit.make ~n_qubits:3 [ Qc.Gate.h 0; Qc.Gate.t 0; Qc.Gate.x 1 ]
+  in
+  let r = run (maqam_linear 3) circuit in
+  Alcotest.(check int) "makespan = weighted depth" 2 r.makespan
+
+let test_makespan_is_max_finish () =
+  let circuit = Workloads.Builders.qft 5 in
+  let r = run (maqam_linear 5) circuit in
+  let max_finish =
+    List.fold_left
+      (fun acc e -> max acc (Schedule.Routed.finish e))
+      0 r.events
+  in
+  Alcotest.(check int) "makespan" max_finish r.makespan
+
+let test_starts_nondecreasing () =
+  (* CODAR issues in simulated-time order *)
+  let circuit = Workloads.Builders.qft 6 in
+  let r = run maqam_grid33 circuit in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "monotone issue times" true
+        (a.Schedule.Routed.start <= b.Schedule.Routed.start);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check r.events
+
+let test_verified_on_qft () =
+  let circuit = Workloads.Builders.qft 6 in
+  let r = run maqam_grid33 circuit in
+  (match
+     Schedule.Verify.check_all ~maqam:maqam_grid33 ~original:circuit r
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verify: %a" Schedule.Verify.pp_error e);
+  Alcotest.(check bool) "statevector equivalent" true
+    (Sim.Equiv.routed_equivalent ~maqam:maqam_grid33 ~original:circuit r)
+
+let test_commutativity_helps () =
+  (* cx 0 2 needs routing; cx 1 2 commutes with it (shared target) and can
+     run immediately — but only the commutative front sees it. *)
+  let circuit =
+    Qc.Circuit.make ~n_qubits:3 [ Qc.Gate.cx 0 2; Qc.Gate.cx 1 2 ]
+  in
+  let with_comm = run (maqam_linear 3) circuit in
+  let without =
+    run
+      ~config:{ Codar.Remapper.default_config with use_commutativity = false }
+      (maqam_linear 3) circuit
+  in
+  let first_event r = (List.hd r.Schedule.Routed.events).Schedule.Routed.gate in
+  Alcotest.(check bool) "cx(1,2) issued first with commutativity" true
+    (Qc.Gate.equal (first_event with_comm) (Qc.Gate.cx 1 2));
+  Alcotest.(check bool) "commutativity no worse" true
+    (with_comm.makespan <= without.makespan);
+  (* both remain correct *)
+  List.iter
+    (fun r ->
+      match
+        Schedule.Verify.check_all ~maqam:(maqam_linear 3) ~original:circuit r
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "verify: %a" Schedule.Verify.pp_error e)
+    [ with_comm; without ]
+
+let test_program_swaps_routed () =
+  (* a program's own SWAP gates are logical gates, not layout moves —
+     regression for the qft4.qasm verifier bug *)
+  let circuit =
+    Qc.Circuit.make ~n_qubits:4
+      [ Qc.Gate.cx 0 1; Qc.Gate.swap 0 3; Qc.Gate.swap 1 2; Qc.Gate.cx 2 3 ]
+  in
+  let r = run (maqam_linear 4) circuit in
+  (match Schedule.Verify.check_all ~maqam:(maqam_linear 4) ~original:circuit r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verify: %a" Schedule.Verify.pp_error e);
+  Alcotest.(check bool) "statevector equivalent" true
+    (Sim.Equiv.routed_equivalent ~maqam:(maqam_linear 4) ~original:circuit r);
+  (* swap_count must only count router-inserted SWAPs *)
+  let adjacent_swaps =
+    Qc.Circuit.make ~n_qubits:3 [ Qc.Gate.swap 0 1; Qc.Gate.swap 1 2 ]
+  in
+  let r2 = run (maqam_linear 3) adjacent_swaps in
+  Alcotest.(check int) "program swaps not counted" 0
+    (Schedule.Routed.swap_count r2)
+
+let test_measure_and_barrier_routed () =
+  let circuit =
+    Qc.Circuit.make ~n_qubits:3
+      [ Qc.Gate.h 0; Qc.Gate.barrier [ 0; 1 ]; Qc.Gate.cx 0 2;
+        Qc.Gate.measure 0 0; Qc.Gate.measure 2 1 ]
+  in
+  let r = run (maqam_linear 3) circuit in
+  match Schedule.Verify.check_all ~maqam:(maqam_linear 3) ~original:circuit r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verify: %a" Schedule.Verify.pp_error e
+
+let test_wide_circuit_rejected () =
+  let circuit = Qc.Circuit.make ~n_qubits:5 [ Qc.Gate.h 4 ] in
+  Alcotest.(check bool) "width check" true
+    (try
+       ignore (run (maqam_linear 3) circuit);
+       false
+     with Invalid_argument _ -> true)
+
+let test_disconnected_stuck () =
+  let coupling =
+    Arch.Coupling.make ~name:"islands" ~n:4 [ (0, 1); (2, 3) ]
+  in
+  let maqam = Arch.Maqam.make ~coupling ~durations:sc in
+  let circuit = Qc.Circuit.make ~n_qubits:4 [ Qc.Gate.cx 0 3 ] in
+  Alcotest.(check bool) "raises Stuck" true
+    (try
+       ignore
+         (Codar.Remapper.run ~maqam ~initial:(identity 4) circuit);
+       false
+     with Codar.Remapper.Stuck _ -> true)
+
+let test_spare_physical_qubits () =
+  (* 3 logical qubits on a 9-qubit grid: SWAPs may involve unoccupied
+     physical qubits *)
+  let circuit =
+    Qc.Circuit.make ~n_qubits:3 [ Qc.Gate.cx 0 1; Qc.Gate.cx 0 2; Qc.Gate.cx 1 2 ]
+  in
+  let initial = Arch.Layout.of_array ~n_physical:9 [| 0; 4; 8 |] in
+  let r = Codar.Remapper.run ~maqam:maqam_grid33 ~initial circuit in
+  match Schedule.Verify.check_all ~maqam:maqam_grid33 ~original:circuit r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verify: %a" Schedule.Verify.pp_error e
+
+let test_window_insensitivity () =
+  (* DESIGN.md claims results are stable beyond small windows; sanity-check
+     two windows both give verified results in similar range *)
+  let circuit = Workloads.Builders.qft 6 in
+  let small =
+    run ~config:{ Codar.Remapper.default_config with window = 20 }
+      maqam_grid33 circuit
+  in
+  let large =
+    run ~config:{ Codar.Remapper.default_config with window = 500 }
+      maqam_grid33 circuit
+  in
+  Alcotest.(check bool) "both verified" true
+    (Result.is_ok
+       (Schedule.Verify.check_all ~maqam:maqam_grid33 ~original:circuit small)
+    && Result.is_ok
+         (Schedule.Verify.check_all ~maqam:maqam_grid33 ~original:circuit
+            large))
+
+let () =
+  Alcotest.run "codar"
+    [
+      ( "cf_front",
+        [
+          Alcotest.test_case "basics" `Quick test_cf_basics;
+          Alcotest.test_case "transitive block" `Quick test_cf_transitive_block;
+          Alcotest.test_case "issued skipped" `Quick test_cf_issued_skipped;
+          Alcotest.test_case "window" `Quick test_cf_window;
+          Alcotest.test_case "max chain" `Quick test_cf_max_chain;
+          Alcotest.test_case "dag mode" `Quick test_cf_dag_mode;
+        ] );
+      ( "heuristic",
+        [
+          Alcotest.test_case "Hbasic" `Quick test_hbasic;
+          Alcotest.test_case "Hfine balance" `Quick test_hfine_prefers_balance;
+          Alcotest.test_case "distance sum" `Quick test_distance_sum;
+        ] );
+      ( "paper scenarios",
+        [
+          Alcotest.test_case "Fig.1 context" `Quick test_fig1_context;
+          Alcotest.test_case "Fig.2 duration" `Quick test_fig2_duration;
+        ] );
+      ( "remapper",
+        [
+          Alcotest.test_case "no swaps when adjacent" `Quick
+            test_no_swaps_when_adjacent;
+          Alcotest.test_case "1q only" `Quick test_one_qubit_only;
+          Alcotest.test_case "makespan" `Quick test_makespan_is_max_finish;
+          Alcotest.test_case "monotone starts" `Quick test_starts_nondecreasing;
+          Alcotest.test_case "verified qft" `Quick test_verified_on_qft;
+          Alcotest.test_case "commutativity helps" `Quick
+            test_commutativity_helps;
+          Alcotest.test_case "program swaps" `Quick test_program_swaps_routed;
+          Alcotest.test_case "measure+barrier" `Quick
+            test_measure_and_barrier_routed;
+          Alcotest.test_case "wide rejected" `Quick test_wide_circuit_rejected;
+          Alcotest.test_case "disconnected stuck" `Quick
+            test_disconnected_stuck;
+          Alcotest.test_case "spare physical qubits" `Quick
+            test_spare_physical_qubits;
+          Alcotest.test_case "window insensitivity" `Quick
+            test_window_insensitivity;
+        ] );
+    ]
