@@ -371,8 +371,15 @@ let perf () =
   in
   let qft8 = Workloads.Builders.qft 8 in
   let qft5 = Workloads.Builders.qft 5 in
+  let qft16 = Workloads.Builders.qft 16 in
+  let rand12 =
+    Workloads.Builders.random_circuit ~n:12 ~gates:2000
+      ~two_qubit_fraction:0.5 ~seed:7
+  in
   let initial8 = Sabre.Initial_mapping.reverse_traversal ~maqam:tokyo qft8 in
   let initial5 = Sabre.Initial_mapping.reverse_traversal ~maqam:grid33 qft5 in
+  let initial16 = Sabre.Initial_mapping.reverse_traversal ~maqam:tokyo qft16 in
+  let initial12 = Sabre.Initial_mapping.reverse_traversal ~maqam:tokyo rand12 in
   let routed5 = Codar.Remapper.run ~maqam:grid33 ~initial:initial5 qft5 in
   let gates = Qc.Circuit.gate_array (Workloads.Builders.qft 10) in
   let issued = Array.make (Array.length gates) false in
@@ -386,6 +393,15 @@ let perf () =
       Test.make ~name:"fig8/sabre-route-qft8-tokyo"
         (Staged.stage (fun () ->
              ignore (Sabre.Router.run ~maqam:tokyo ~initial:initial8 qft8)));
+      (* medium circuits: the router hot path the incremental CF cache and
+         pair-resolution caching target *)
+      Test.make ~name:"fig8/codar-route-qft16-tokyo"
+        (Staged.stage (fun () ->
+             ignore (Codar.Remapper.run ~maqam:tokyo ~initial:initial16 qft16)));
+      Test.make ~name:"fig8/codar-route-rand12-2k-tokyo"
+        (Staged.stage (fun () ->
+             ignore
+               (Codar.Remapper.run ~maqam:tokyo ~initial:initial12 rand12)));
       (* Fig. 9 inner loop: one noisy trajectory *)
       Test.make ~name:"fig9/noisy-trajectory-qft5"
         (Staged.stage
@@ -428,10 +444,47 @@ let perf () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Fmt.pr "%-32s %12.0f ns/run@." name est
-          | Some _ | None -> Fmt.pr "%-32s (no estimate)@." name)
+          | Some [ est ] -> Fmt.pr "%-36s %12.0f ns/run@." name est
+          | Some _ | None -> Fmt.pr "%-36s (no estimate)@." name)
         results)
-    tests
+    tests;
+  Fmt.pr "@.-- router instrumentation (one qft16 pass on Tokyo) --@.";
+  let stats = Codar.Stats.create () in
+  ignore (Codar.Remapper.run ~stats ~maqam:tokyo ~initial:initial16 qft16);
+  Fmt.pr "%a@." Codar.Stats.pp stats
+
+(* ------------------------------------------------------------------ smoke *)
+
+(* One small end-to-end routing run plus the stats path, wired into [dune
+   runtest] (the [bench-smoke] alias in bench/dune) so the perf harness and
+   instrumentation cannot silently rot. Exits non-zero on any failure. *)
+let smoke () =
+  let maqam =
+    Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo
+      ~durations:superconducting
+  in
+  let circuit =
+    match Workloads.Suite.find "qft_6" with
+    | Some e -> Lazy.force e.circuit
+    | None -> Fmt.failwith "smoke: benchmark qft_6 missing"
+  in
+  let initial = Sabre.Initial_mapping.reverse_traversal ~maqam circuit in
+  let stats = Codar.Stats.create () in
+  let routed = Codar.Remapper.run ~stats ~maqam ~initial circuit in
+  (match Schedule.Verify.check_all ~maqam ~original:circuit routed with
+  | Ok () -> ()
+  | Error e -> Fmt.failwith "smoke: verify failed: %a" Schedule.Verify.pp_error e);
+  if stats.Codar.Stats.gates_issued <> Qc.Circuit.length circuit then
+    Fmt.failwith "smoke: stats counted %d issued gates, expected %d"
+      stats.Codar.Stats.gates_issued (Qc.Circuit.length circuit);
+  if stats.Codar.Stats.cf_recomputes = 0 then
+    Fmt.failwith "smoke: no CF recompute recorded";
+  if stats.Codar.Stats.cf_cache_hits = 0 then
+    Fmt.failwith "smoke: CF cache never hit — incremental front broken?";
+  Fmt.pr "smoke: routed qft_6 on tokyo (makespan %d, %d swaps)@."
+    routed.Schedule.Routed.makespan
+    (Schedule.Routed.swap_count routed);
+  Fmt.pr "smoke: %a@." Codar.Stats.pp stats
 
 (* ------------------------------------------------------------------ main *)
 
@@ -459,10 +512,11 @@ let () =
   | [ "baselines" ] -> baselines ()
   | [ "esp" ] -> esp ()
   | [ "perf" ] -> perf ()
+  | [ "smoke" ] -> smoke ()
   | _ ->
     Fmt.epr
       "usage: main.exe \
        [all|table1|fig8|fig8-fast|fig9|ablation|initmap|swaps|baselines|esp|\
-       perf]@.";
+       perf|smoke]@.";
     exit 2);
   Fmt.pr "@.(total wall time: %.1fs)@." (Unix.gettimeofday () -. t0)

@@ -32,9 +32,9 @@ let load_circuit input bench =
   | Some _, Some _ -> Fmt.failwith "--input and --bench are exclusive"
   | None, None -> Fmt.failwith "one of --input or --bench is required"
 
-let route router maqam initial circuit =
+let route ?stats router maqam initial circuit =
   match router with
-  | `Codar -> Codar.Remapper.run ~maqam ~initial circuit
+  | `Codar -> Codar.Remapper.run ?stats ~maqam ~initial circuit
   | `Sabre -> Sabre.Router.run ~maqam ~initial circuit
   | `Astar -> Astar.Router.run ~maqam ~initial circuit
 
@@ -83,7 +83,12 @@ let map_cmd =
          & info [ "optimize"; "O" ] ~doc:"Peephole-optimise before routing.")
   in
   let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.") in
-  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print schedule statistics.") in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print schedule statistics (and, for the CODAR router, \
+                   the internal instrumentation counters).")
+  in
   let csv =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~doc:"Write the timeline as CSV here.")
@@ -94,7 +99,12 @@ let map_cmd =
     let circuit = if optimize then Qc.Optimize.optimize circuit else circuit in
     let maqam = Arch.Maqam.make ~coupling:arch ~durations in
     let initial = Placement.compute placement ~maqam circuit in
-    let result = route router maqam initial circuit in
+    let router_stats =
+      match (stats, router) with
+      | true, `Codar -> Some (Codar.Stats.create ())
+      | (false, _ | _, (`Sabre | `Astar)) -> None
+    in
+    let result = route ?stats:router_stats router maqam initial circuit in
     Fmt.pr "device:        %s (%d qubits)@." (Arch.Coupling.name arch)
       (Arch.Coupling.n_qubits arch);
     Fmt.pr "durations:     %a@." Arch.Durations.pp durations;
@@ -127,6 +137,9 @@ let map_cmd =
     if stats then
       Fmt.pr "stats:         %a@." Schedule.Stats.pp
         (Schedule.Stats.of_routed ~n_physical ~original:circuit result);
+    (match router_stats with
+    | Some s -> Fmt.pr "router stats:  %a@." Codar.Stats.pp s
+    | None -> ());
     if gantt then
       Fmt.pr "%a@." (Schedule.Stats.pp_gantt ?width:None ~n_physical) result;
     (match csv with

@@ -2,6 +2,8 @@ type t = {
   name : string;
   n : int;
   adj : int list array;
+  adjm : Bytes.t;  (* n×n adjacency matrix, row-major: O(1) [adjacent] *)
+  deg : int array;
   edges : (int * int) list;
   dist : int array array;
   coords : (float * float) array option;
@@ -47,16 +49,25 @@ let make ?coords ~name ~n edge_list =
       adj.(b) <- a :: adj.(b))
     edges;
   Array.iteri (fun i l -> adj.(i) <- List.sort Stdlib.compare l) adj;
+  let adjm = Bytes.make (n * n) '\000' in
+  List.iter
+    (fun (a, b) ->
+      Bytes.set adjm ((a * n) + b) '\001';
+      Bytes.set adjm ((b * n) + a) '\001')
+    edges;
+  let deg = Array.map List.length adj in
   let dist = Array.init n (fun src -> bfs_distances n adj src) in
-  { name; n; adj; edges; dist; coords }
+  { name; n; adj; adjm; deg; edges; dist; coords }
 
 let name t = t.name
 let n_qubits t = t.n
 let edges t = t.edges
 let neighbors t q = t.adj.(q)
-let degree t q = List.length t.adj.(q)
+let degree t q = t.deg.(q)
 
-let adjacent t a b = a <> b && List.mem b t.adj.(a)
+let adjacent t a b =
+  if b < 0 || b >= t.n then invalid_arg "Coupling.adjacent";
+  Bytes.get t.adjm ((a * t.n) + b) <> '\000'
 
 let distance t a b = t.dist.(a).(b)
 

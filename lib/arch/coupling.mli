@@ -22,8 +22,12 @@ val edges : t -> (int * int) list
 (** Normalised: each as [(lo, hi)], sorted, no duplicates. *)
 
 val neighbors : t -> int -> int list
+
 val degree : t -> int -> int
+(** O(1): read from the precomputed degree array. *)
+
 val adjacent : t -> int -> int -> bool
+(** O(1): one probe of the precomputed adjacency matrix (router hot path). *)
 
 val distance : t -> int -> int -> int
 (** Shortest path length in edges; [max_int] when disconnected. *)

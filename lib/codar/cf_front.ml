@@ -1,28 +1,96 @@
-let compute ?(window = 200) ?(max_chain = 20) ~commutes ~gates ~issued head =
+(* Per-qubit chain of pending gates with a maintained length, so the
+   [max_chain] saturation probe is O(1) instead of the former
+   [List.length] walk (which made the window scan quadratic in the chain
+   bound). *)
+type chain = {
+  mutable len : int;
+  mutable gates : Qc.Gate.t list;  (* most recent first *)
+  mutable saturated : bool;
+}
+
+let scan ~window ~max_chain ~commutes ~gates ~issued head =
   let n = Array.length gates in
-  let chains : (int, Qc.Gate.t list) Hashtbl.t = Hashtbl.create 32 in
-  let saturated : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-  let chain q = Option.value ~default:[] (Hashtbl.find_opt chains q) in
-  let rec scan i seen acc =
+  let chains : (int, chain) Hashtbl.t = Hashtbl.create 32 in
+  let chain q =
+    match Hashtbl.find_opt chains q with
+    | Some c -> c
+    | None ->
+      let c = { len = 0; gates = []; saturated = false } in
+      Hashtbl.replace chains q c;
+      c
+  in
+  let rec go i seen acc =
     if i >= n || seen >= window then List.rev acc
-    else if issued.(i) then scan (i + 1) seen acc
+    else if issued.(i) then go (i + 1) seen acc
     else begin
       let g = gates.(i) in
       let qs = Qc.Gate.qubits g in
       let is_cf =
         List.for_all
           (fun q ->
-            (not (Hashtbl.mem saturated q))
-            && List.for_all (fun h -> commutes h g) (chain q))
+            let c = chain q in
+            (not c.saturated) && List.for_all (fun h -> commutes h g) c.gates)
           qs
       in
       List.iter
         (fun q ->
           let c = chain q in
-          if List.length c >= max_chain then Hashtbl.replace saturated q ()
-          else Hashtbl.replace chains q (g :: c))
+          if c.len >= max_chain then c.saturated <- true
+          else begin
+            c.gates <- g :: c.gates;
+            c.len <- c.len + 1
+          end)
         qs;
-      scan (i + 1) (seen + 1) (if is_cf then i :: acc else acc)
+      go (i + 1) (seen + 1) (if is_cf then i :: acc else acc)
     end
   in
-  scan head 0 []
+  go head 0 []
+
+let compute ?(window = 200) ?(max_chain = 20) ~commutes ~gates ~issued head =
+  scan ~window ~max_chain ~commutes ~gates ~issued head
+
+type t = {
+  window : int;
+  max_chain : int;
+  commutes : Qc.Gate.t -> Qc.Gate.t -> bool;
+  gates : Qc.Gate.t array;
+  issued : bool array;
+  mutable cached_head : int;
+  mutable cached : int list;
+  mutable valid : bool;
+}
+
+let create ?(window = 200) ?(max_chain = 20) ~commutes ~gates ~issued () =
+  {
+    window;
+    max_chain;
+    commutes;
+    gates;
+    issued;
+    cached_head = -1;
+    cached = [];
+    valid = false;
+  }
+
+let invalidate t = t.valid <- false
+
+let front ?stats t head =
+  if t.valid && t.cached_head = head then begin
+    (match stats with
+    | Some s -> s.Stats.cf_cache_hits <- s.Stats.cf_cache_hits + 1
+    | None -> ());
+    t.cached
+  end
+  else begin
+    (match stats with
+    | Some s -> s.Stats.cf_recomputes <- s.Stats.cf_recomputes + 1
+    | None -> ());
+    let f =
+      scan ~window:t.window ~max_chain:t.max_chain ~commutes:t.commutes
+        ~gates:t.gates ~issued:t.issued head
+    in
+    t.cached_head <- head;
+    t.cached <- f;
+    t.valid <- true;
+    f
+  end

@@ -2,7 +2,8 @@
 
     A gate of the unissued sequence is a {e CF gate} iff it commutes with
     every earlier unissued gate. Gates on disjoint qubits commute trivially,
-    so only per-qubit chains of earlier gates need checking. Two engineering
+    so only per-qubit chains of earlier gates need checking; chains carry a
+    maintained length so the saturation probe is O(1). Two engineering
     bounds keep this linear in practice (ablated in [bench/main.exe
     ablation]): only the first [window] unissued gates are scanned, and a
     qubit whose chain of pending gates exceeds [max_chain] conservatively
@@ -23,3 +24,38 @@ val compute :
 
     Passing [commutes = fun _ _ -> false] degrades the CF front to the plain
     dependency-DAG front layer — the ablation knob. *)
+
+(** {1 Incremental front maintenance}
+
+    The front depends only on [(gates, issued, head)] — never on the layout,
+    locks or simulated time — so between gate issues every query can be
+    answered from a cached scan. {!t} owns that cache: {!front} returns the
+    cached index list while it is valid, and {!invalidate} (called whenever
+    a gate is issued, i.e. [issued] flips) forces the next query to rescan.
+    This turns the remapper's per-cycle fixpoint and SWAP-insertion loops
+    from O(iterations × window) into one scan per issued gate. *)
+
+type t
+(** A stateful front tracker over a fixed gate array and issued flags
+    (shared by reference with the caller, who mutates [issued]). *)
+
+val create :
+  ?window:int ->
+  ?max_chain:int ->
+  commutes:(Qc.Gate.t -> Qc.Gate.t -> bool) ->
+  gates:Qc.Gate.t array ->
+  issued:bool array ->
+  unit ->
+  t
+(** Same defaults as {!compute}. The cache starts invalid. *)
+
+val front : ?stats:Stats.t -> t -> int -> int list
+(** [front t head] is [compute ~gates ~issued head], served from the cache
+    when no {!invalidate} intervened and [head] is unchanged. The returned
+    list is physically the cached list ([==]-stable across hits), which
+    callers may use to key derived caches. [stats], when given, counts the
+    hit/recompute. *)
+
+val invalidate : t -> unit
+(** Mark the cached front stale. Must be called after any flip of the shared
+    [issued] array; O(1). *)

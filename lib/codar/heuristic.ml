@@ -17,14 +17,12 @@ let distance_sum ~maqam ~layout pairs =
 (* Physical endpoint of [q] after hypothetically swapping p1 <-> p2. *)
 let moved p1 p2 p = if p = p1 then p2 else if p = p2 then p1 else p
 
-let evaluate ~maqam ~layout ~cf_pairs ~swap:(p1, p2) =
+let evaluate_phys ~maqam ~phys_pairs ~swap:(p1, p2) =
   let coupling = Arch.Maqam.coupling maqam in
   let has_coords = Arch.Coupling.coords coupling <> None in
   let basic = ref 0 and fine = ref 0. in
   List.iter
-    (fun (q1, q2) ->
-      let a = Arch.Layout.phys_of_log layout q1 in
-      let b = Arch.Layout.phys_of_log layout q2 in
+    (fun (a, b) ->
       let a' = moved p1 p2 a and b' = moved p1 p2 b in
       basic :=
         !basic + Arch.Maqam.distance maqam a b
@@ -37,5 +35,15 @@ let evaluate ~maqam ~layout ~cf_pairs ~swap:(p1, p2) =
         | Some vd, Some hd -> fine := !fine -. Float.abs (vd -. hd)
         | (None, _ | _, None) -> ()
       end)
-    cf_pairs;
+    phys_pairs;
   { basic = !basic; fine = !fine }
+
+let evaluate ~maqam ~layout ~cf_pairs ~swap =
+  let phys_pairs =
+    List.map
+      (fun (q1, q2) ->
+        ( Arch.Layout.phys_of_log layout q1,
+          Arch.Layout.phys_of_log layout q2 ))
+      cf_pairs
+  in
+  evaluate_phys ~maqam ~phys_pairs ~swap

@@ -21,6 +21,16 @@ val evaluate :
     physical qubits [p1]/[p2]. [cf_pairs] are the logical operand pairs of
     the CF two-qubit gates. [fine] is 0 on devices without coordinates. *)
 
+val evaluate_phys :
+  maqam:Arch.Maqam.t ->
+  phys_pairs:(int * int) list ->
+  swap:int * int ->
+  priority
+(** Like {!evaluate} but over already-resolved physical endpoint pairs —
+    the remapper's hot path, which resolves the CF pairs once per
+    (front, layout) and scores every candidate edge against the cached
+    resolution instead of re-walking the layout per candidate. *)
+
 val distance_sum :
   maqam:Arch.Maqam.t -> layout:Arch.Layout.t -> (int * int) list -> int
 (** Σ of coupling distances of the logical pairs under the layout. *)

@@ -37,10 +37,15 @@ exception Stuck of string
 
 val run :
   ?config:config ->
+  ?stats:Stats.t ->
   maqam:Arch.Maqam.t ->
   initial:Arch.Layout.t ->
   Qc.Circuit.t ->
   Schedule.Routed.t
 (** Route [circuit] onto the machine starting from [initial]. Raises
     [Invalid_argument] when the circuit is wider than the device or the
-    layout widths disagree; {!Stuck} on unroutable inputs. *)
+    layout widths disagree; {!Stuck} on unroutable inputs.
+
+    [stats], when given, accumulates {!Stats} instrumentation counters for
+    this run (counters are not reset first, so one record can aggregate
+    several runs). *)

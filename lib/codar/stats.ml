@@ -1,0 +1,49 @@
+type t = {
+  mutable cf_recomputes : int;
+  mutable cf_cache_hits : int;
+  mutable pair_resolutions : int;
+  mutable heuristic_evals : int;
+  mutable swap_candidates : int;
+  mutable swaps_inserted : int;
+  mutable forced_swaps : int;
+  mutable gates_issued : int;
+  mutable cycles : int;
+}
+
+let create () =
+  {
+    cf_recomputes = 0;
+    cf_cache_hits = 0;
+    pair_resolutions = 0;
+    heuristic_evals = 0;
+    swap_candidates = 0;
+    swaps_inserted = 0;
+    forced_swaps = 0;
+    gates_issued = 0;
+    cycles = 0;
+  }
+
+let reset s =
+  s.cf_recomputes <- 0;
+  s.cf_cache_hits <- 0;
+  s.pair_resolutions <- 0;
+  s.heuristic_evals <- 0;
+  s.swap_candidates <- 0;
+  s.swaps_inserted <- 0;
+  s.forced_swaps <- 0;
+  s.gates_issued <- 0;
+  s.cycles <- 0
+
+let cf_hit_rate s =
+  let total = s.cf_recomputes + s.cf_cache_hits in
+  if total = 0 then 0. else float_of_int s.cf_cache_hits /. float_of_int total
+
+let pp ppf s =
+  Fmt.pf ppf
+    "cf: %d recomputes, %d cache hits (%.1f%% hit rate); %d pair \
+     resolutions; %d heuristic evals; %d swap candidates; %d swaps (%d \
+     forced); %d gates issued; %d cycles"
+    s.cf_recomputes s.cf_cache_hits
+    (100. *. cf_hit_rate s)
+    s.pair_resolutions s.heuristic_evals s.swap_candidates s.swaps_inserted
+    s.forced_swaps s.gates_issued s.cycles

@@ -1,0 +1,32 @@
+(** Router instrumentation: mutable counters threaded through
+    {!Remapper.run} (and {!Cf_front.front}) so the incremental hot path is
+    observable — cache effectiveness, heuristic work, SWAP pressure — from
+    [codar_cli map --stats] and [bench/main.exe perf]. Counting is plain
+    field bumps; the overhead is negligible next to a single heuristic
+    evaluation. *)
+
+type t = {
+  mutable cf_recomputes : int;
+      (** full commutative-front window scans actually performed *)
+  mutable cf_cache_hits : int;
+      (** front queries answered from the cached front (no rescan) *)
+  mutable pair_resolutions : int;
+      (** log→phys resolutions of the CF two-qubit pair list (once per
+          front × layout change, not per heuristic query) *)
+  mutable heuristic_evals : int;  (** SWAP priority evaluations *)
+  mutable swap_candidates : int;  (** candidate edges generated, cumulative *)
+  mutable swaps_inserted : int;  (** SWAPs the router inserted *)
+  mutable forced_swaps : int;  (** deadlock escapes (§IV-D) *)
+  mutable gates_issued : int;  (** program gates issued *)
+  mutable cycles : int;  (** simulated-time advances *)
+}
+
+val create : unit -> t
+(** All counters zero. *)
+
+val reset : t -> unit
+
+val cf_hit_rate : t -> float
+(** Cache hits / front queries, in [0, 1]; [0.] before any query. *)
+
+val pp : Format.formatter -> t -> unit

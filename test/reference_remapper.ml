@@ -1,3 +1,11 @@
+(* The SEED router, kept verbatim as a reference implementation: the
+   pre-optimization CODAR remapper with from-scratch CF recomputation and
+   the stale (filter-only) SWAP-candidate list. The determinism suite
+   asserts the production router in lib/codar/remapper.ml emits an
+   identical event stream, which is the strongest form of the
+   "behavior-preserving refactor" guarantee. Do not modernise this file —
+   its value is that it does not change. *)
+
 type config = {
   window : int;
   max_chain : int;
@@ -13,26 +21,24 @@ exception Stuck of string
 type state = {
   maqam : Arch.Maqam.t;
   config : config;
-  stats : Stats.t;
   gates : Qc.Gate.t array;
   issued : bool array;
-  cf : Cf_front.t;  (* incremental front over [gates]/[issued] *)
   mutable head : int;  (* first unissued index *)
   mutable remaining : int;
   locks : int array;  (* per physical qubit: busy until this time *)
   mutable layout : Arch.Layout.t;
-  mutable layout_version : int;  (* bumped on every SWAP *)
   mutable time : int;
   mutable events_rev : Schedule.Routed.event list;
   mutable swap_budget : int;
-  (* Per-cycle derived caches, keyed by the physical identity of the cached
-     front list (which is [==]-stable across Cf_front cache hits) and, for
-     the physical resolution, the layout version. *)
-  mutable pairs_cache : (int list * (int * int) list) option;
-  mutable phys_cache : (int list * int * (int * int) list) option;
 }
 
-let cf_front st = Cf_front.front ~stats:st.stats st.cf st.head
+let commutes_fn st =
+  if st.config.use_commutativity then Qc.Commute.commutes
+  else fun _ _ -> false
+
+let cf_front st =
+  Codar.Cf_front.compute ~window:st.config.window ~max_chain:st.config.max_chain
+    ~commutes:(commutes_fn st) ~gates:st.gates ~issued:st.issued st.head
 
 let lock_free_phys st p = st.locks.(p) <= st.time
 
@@ -57,9 +63,7 @@ let issue_gate st i =
   let phys = Qc.Gate.remap (Arch.Layout.phys_of_log st.layout) g in
   emit st ~inserted:false phys (Arch.Maqam.duration st.maqam g);
   st.issued.(i) <- true;
-  Cf_front.invalidate st.cf;
   st.remaining <- st.remaining - 1;
-  st.stats.Stats.gates_issued <- st.stats.Stats.gates_issued + 1;
   advance_head st
 
 (* Step 2: issue every directly executable CF gate at the current time.
@@ -77,40 +81,14 @@ let rec issue_executable st issued_any =
     (cf_front st);
   if !progressed then issue_executable st true else issued_any
 
-(* Logical operand pairs of CF two-qubit gates (for the heuristic), cached
-   per front. *)
+(* Logical operand pairs of CF two-qubit gates (for the heuristic). *)
 let cf_pairs st front =
-  match st.pairs_cache with
-  | Some (f, pairs) when f == front -> pairs
-  | Some _ | None ->
-    let pairs =
-      List.filter_map
-        (fun i ->
-          match st.gates.(i) with
-          | Qc.Gate.Two (_, q1, q2) -> Some (q1, q2)
-          | Qc.Gate.One _ | Qc.Gate.Barrier _ | Qc.Gate.Measure _ -> None)
-        front
-    in
-    st.pairs_cache <- Some (front, pairs);
-    pairs
-
-(* Physical endpoints of the CF pairs under the current layout, cached per
-   (front, layout version) so SWAP scoring does not re-resolve the layout
-   for every candidate edge. *)
-let phys_pairs st front =
-  match st.phys_cache with
-  | Some (f, v, pp) when f == front && v = st.layout_version -> pp
-  | Some _ | None ->
-    let pp =
-      List.map
-        (fun (q1, q2) ->
-          ( Arch.Layout.phys_of_log st.layout q1,
-            Arch.Layout.phys_of_log st.layout q2 ))
-        (cf_pairs st front)
-    in
-    st.stats.Stats.pair_resolutions <- st.stats.Stats.pair_resolutions + 1;
-    st.phys_cache <- Some (front, st.layout_version, pp);
-    pp
+  List.filter_map
+    (fun i ->
+      match st.gates.(i) with
+      | Qc.Gate.Two (_, q1, q2) -> Some (q1, q2)
+      | Qc.Gate.One _ | Qc.Gate.Barrier _ | Qc.Gate.Measure _ -> None)
+    front
 
 (* Candidate SWAPs: lock-free coupling edges incident to a physical endpoint
    of a pending (non-adjacent) CF two-qubit gate. *)
@@ -125,28 +103,25 @@ let swap_candidates st front =
     then Hashtbl.replace seen e ()
   in
   List.iter
-    (fun (p1, p2) ->
-      if not (Arch.Coupling.adjacent coupling p1 p2) then
-        List.iter
-          (fun p ->
-            List.iter (fun p' -> add p p') (Arch.Coupling.neighbors coupling p))
-          [ p1; p2 ])
-    (phys_pairs st front);
-  let candidates =
-    Hashtbl.fold (fun e () acc -> e :: acc) seen []
-    |> List.sort Stdlib.compare
-  in
-  st.stats.Stats.swap_candidates <-
-    st.stats.Stats.swap_candidates + List.length candidates;
-  candidates
+    (fun i ->
+      match st.gates.(i) with
+      | Qc.Gate.Two (_, q1, q2) ->
+        let p1 = Arch.Layout.phys_of_log st.layout q1 in
+        let p2 = Arch.Layout.phys_of_log st.layout q2 in
+        if not (Arch.Coupling.adjacent coupling p1 p2) then
+          List.iter
+            (fun p ->
+              List.iter (fun p' -> add p p') (Arch.Coupling.neighbors coupling p))
+            [ p1; p2 ]
+      | Qc.Gate.One _ | Qc.Gate.Barrier _ | Qc.Gate.Measure _ -> ())
+    front;
+  Hashtbl.fold (fun e () acc -> e :: acc) seen []
+  |> List.sort Stdlib.compare
 
-let priority_of st front edge =
-  st.stats.Stats.heuristic_evals <- st.stats.Stats.heuristic_evals + 1;
-  let p =
-    Heuristic.evaluate_phys ~maqam:st.maqam ~phys_pairs:(phys_pairs st front)
-      ~swap:edge
-  in
-  if st.config.use_fine then p else { p with Heuristic.fine = 0. }
+let priority_of st pairs edge =
+  let p = Codar.Heuristic.evaluate ~maqam:st.maqam ~layout:st.layout ~cf_pairs:pairs
+      ~swap:edge in
+  if st.config.use_fine then p else { p with Codar.Heuristic.fine = 0. }
 
 let issue_swap st (p1, p2) =
   if st.swap_budget <= 0 then
@@ -159,34 +134,38 @@ let issue_swap st (p1, p2) =
   st.swap_budget <- st.swap_budget - 1;
   emit st ~inserted:true (Qc.Gate.swap p1 p2)
     (Arch.Durations.swap (Arch.Maqam.durations st.maqam));
-  st.layout <- Arch.Layout.swap_physical st.layout p1 p2;
-  st.layout_version <- st.layout_version + 1;
-  st.stats.Stats.swaps_inserted <- st.stats.Stats.swaps_inserted + 1
+  st.layout <- Arch.Layout.swap_physical st.layout p1 p2
 
-(* Step 3: repeatedly issue the best positive-priority SWAP. After each
-   insertion the layout changed, so the candidate set is regenerated from
-   the updated layout — not merely re-scored: an edge can become profitable
-   (or a pending gate non-adjacent) only once an endpoint has moved, and a
-   stale list would never consider it. Returns whether any SWAP issued. *)
+(* Step 3: repeatedly issue the best positive-priority SWAP, re-scoring after
+   each insertion (the layout changed) and dropping candidates whose qubits
+   got locked. Returns whether any SWAP was issued. *)
 let insert_swaps st =
   let issued_any = ref false in
   let rec loop candidates =
+    let candidates =
+      List.filter
+        (fun (p, p') -> lock_free_phys st p && lock_free_phys st p')
+        candidates
+    in
     let front = cf_front st in
+    let pairs = cf_pairs st front in
+    let scored =
+      List.map (fun e -> (priority_of st pairs e, e)) candidates
+    in
     let best =
       List.fold_left
-        (fun acc e ->
-          let pr = priority_of st front e in
+        (fun acc (pr, e) ->
           match acc with
           | None -> Some (pr, e)
           | Some (bpr, _) ->
-            if Heuristic.compare_priority pr bpr > 0 then Some (pr, e) else acc)
-        None candidates
+            if Codar.Heuristic.compare_priority pr bpr > 0 then Some (pr, e) else acc)
+        None scored
     in
     match best with
-    | Some (pr, e) when pr.Heuristic.basic > 0 ->
+    | Some (pr, e) when pr.Codar.Heuristic.basic > 0 ->
       issue_swap st e;
       issued_any := true;
-      loop (swap_candidates st (cf_front st))
+      loop candidates
     | Some _ | None -> ()
   in
   loop (swap_candidates st (cf_front st));
@@ -198,8 +177,12 @@ let insert_swaps st =
    global priority as tiebreak. *)
 let force_swap st =
   let front = cf_front st in
+  let pairs = cf_pairs st front in
   let oldest =
-    match phys_pairs st front with [] -> None | pp :: _ -> Some pp
+    match pairs with
+    | [] -> None
+    | (q1, q2) :: _ -> Some (Arch.Layout.phys_of_log st.layout q1,
+                             Arch.Layout.phys_of_log st.layout q2)
   in
   let candidates = swap_candidates st front in
   let score e =
@@ -212,7 +195,7 @@ let force_swap st =
         Arch.Maqam.distance st.maqam a b
         - Arch.Maqam.distance st.maqam (moved a) (moved b)
     in
-    (oldest_gain, priority_of st front e)
+    (oldest_gain, priority_of st pairs e)
   in
   let best =
     List.fold_left
@@ -223,15 +206,13 @@ let force_swap st =
         | Some ((bg, bp), _) ->
           let g, p = s in
           if
-            g > bg || (g = bg && Heuristic.compare_priority p bp > 0)
+            g > bg || (g = bg && Codar.Heuristic.compare_priority p bp > 0)
           then Some (s, e)
           else acc)
       None candidates
   in
   match best with
-  | Some (_, e) ->
-    issue_swap st e;
-    st.stats.Stats.forced_swaps <- st.stats.Stats.forced_swaps + 1
+  | Some (_, e) -> issue_swap st e
   | None ->
     raise
       (Stuck
@@ -245,7 +226,7 @@ let next_unlock st =
     (fun acc l -> if l > st.time then min acc l else acc)
     max_int st.locks
 
-let run ?(config = default_config) ?stats ~maqam ~initial circuit =
+let run ?(config = default_config) ~maqam ~initial circuit =
   let n_physical = Arch.Maqam.n_qubits maqam in
   let n_logical = Qc.Circuit.n_qubits circuit in
   if n_logical > n_physical then
@@ -255,32 +236,20 @@ let run ?(config = default_config) ?stats ~maqam ~initial circuit =
     || Arch.Layout.n_physical initial <> n_physical
   then invalid_arg "Remapper.run: layout size mismatch";
   let gates = Qc.Circuit.gate_array circuit in
-  let issued = Array.make (Array.length gates) false in
-  let commutes =
-    if config.use_commutativity then Qc.Commute.commutes else fun _ _ -> false
-  in
-  let stats = match stats with Some s -> s | None -> Stats.create () in
   let st =
     {
       maqam;
       config;
-      stats;
       gates;
-      issued;
-      cf =
-        Cf_front.create ~window:config.window ~max_chain:config.max_chain
-          ~commutes ~gates ~issued ();
+      issued = Array.make (Array.length gates) false;
       head = 0;
       remaining = Array.length gates;
       locks = Array.make n_physical 0;
       layout = initial;
-      layout_version = 0;
       time = 0;
       events_rev = [];
       swap_budget =
         10 * (Array.length gates + 1) * (n_physical + 1);
-      pairs_cache = None;
-      phys_cache = None;
     }
   in
   while st.remaining > 0 do
@@ -288,10 +257,7 @@ let run ?(config = default_config) ?stats ~maqam ~initial circuit =
     let swapped = if st.remaining > 0 then insert_swaps st else false in
     if st.remaining > 0 then begin
       let next = next_unlock st in
-      if next < max_int then begin
-        st.time <- next;
-        st.stats.Stats.cycles <- st.stats.Stats.cycles + 1
-      end
+      if next < max_int then st.time <- next
       else if not (issued || swapped) then force_swap st
       (* else: everything issued this cycle had zero duration (barriers);
          loop again at the same time. *)

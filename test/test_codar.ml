@@ -87,6 +87,90 @@ let test_cf_dag_mode () =
   Alcotest.(check (list int)) "dag front" [ 0; 2 ]
     (Codar.Cf_front.compute ~commutes:(fun _ _ -> false) ~gates ~issued 0)
 
+(* ------------------------------------------- cf_front: counted chains *)
+
+(* The seed CF scan, kept as a qcheck reference: it probed chain saturation
+   with [List.length] on every gate (quadratic in [max_chain]). The
+   counted-chain rewrite must select exactly the same indices. *)
+let reference_compute ?(window = 200) ?(max_chain = 20) ~commutes ~gates
+    ~issued head =
+  let n = Array.length gates in
+  let chains : (int, Qc.Gate.t list) Hashtbl.t = Hashtbl.create 32 in
+  let saturated : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let chain q = Option.value ~default:[] (Hashtbl.find_opt chains q) in
+  let rec scan i seen acc =
+    if i >= n || seen >= window then List.rev acc
+    else if issued.(i) then scan (i + 1) seen acc
+    else begin
+      let g = gates.(i) in
+      let qs = Qc.Gate.qubits g in
+      let is_cf =
+        List.for_all
+          (fun q ->
+            (not (Hashtbl.mem saturated q))
+            && List.for_all (fun h -> commutes h g) (chain q))
+          qs
+      in
+      List.iter
+        (fun q ->
+          let c = chain q in
+          if List.length c >= max_chain then Hashtbl.replace saturated q ()
+          else Hashtbl.replace chains q (g :: c))
+        qs;
+      scan (i + 1) (seen + 1) (if is_cf then i :: acc else acc)
+    end
+  in
+  scan head 0 []
+
+let prop_cf_counted_matches_reference =
+  QCheck.Test.make ~count:300
+    ~name:"counted-chain CF = seed List.length implementation"
+    QCheck.(
+      triple (int_bound 10_000) (int_range 2 8)
+        (pair (int_range 1 30) (int_range 1 6)))
+    (fun (seed, n, (window, max_chain)) ->
+      let circuit =
+        Workloads.Builders.random_circuit ~n ~gates:60 ~two_qubit_fraction:0.5
+          ~seed
+      in
+      let gates = Qc.Circuit.gate_array circuit in
+      (* a scattering of already-issued gates, as mid-route states have *)
+      let issued =
+        Array.init (Array.length gates) (fun i -> ((i * 7) + seed) mod 5 = 0)
+      in
+      let head = ref 0 in
+      while !head < Array.length gates && issued.(!head) do incr head done;
+      reference_compute ~window ~max_chain ~commutes:Qc.Commute.commutes
+        ~gates ~issued !head
+      = Codar.Cf_front.compute ~window ~max_chain ~commutes:Qc.Commute.commutes
+          ~gates ~issued !head)
+
+let test_cf_incremental_cache () =
+  let gates = Qc.Circuit.gate_array (Workloads.Builders.qft 5) in
+  let issued = Array.make (Array.length gates) false in
+  let stats = Codar.Stats.create () in
+  let t = Codar.Cf_front.create ~commutes:Qc.Commute.commutes ~gates ~issued () in
+  let f1 = Codar.Cf_front.front ~stats t 0 in
+  let f2 = Codar.Cf_front.front ~stats t 0 in
+  Alcotest.(check bool) "hit returns the cached list (==)" true (f1 == f2);
+  Alcotest.(check int) "one recompute" 1 stats.Codar.Stats.cf_recomputes;
+  Alcotest.(check int) "one cache hit" 1 stats.Codar.Stats.cf_cache_hits;
+  Alcotest.(check (list int)) "front = pure compute"
+    (Codar.Cf_front.compute ~commutes:Qc.Commute.commutes ~gates ~issued 0)
+    f1;
+  (* issue the whole front, invalidate, and the rescan must agree with the
+     pure function on the new issued state *)
+  List.iter (fun i -> issued.(i) <- true) f1;
+  Codar.Cf_front.invalidate t;
+  let head = ref 0 in
+  while !head < Array.length gates && issued.(!head) do incr head done;
+  let f3 = Codar.Cf_front.front ~stats t !head in
+  Alcotest.(check int) "invalidate forces a recompute" 2
+    stats.Codar.Stats.cf_recomputes;
+  Alcotest.(check (list int)) "rescanned front = pure compute"
+    (Codar.Cf_front.compute ~commutes:Qc.Commute.commutes ~gates ~issued !head)
+    f3
+
 (* -------------------------------------------------------------- heuristic *)
 
 let test_hbasic () =
@@ -333,6 +417,92 @@ let test_window_insensitivity () =
          (Schedule.Verify.check_all ~maqam:maqam_grid33 ~original:circuit
             large))
 
+(* ------------------------------------- remapper: candidate regeneration *)
+
+(* Two independent distance-2 corner pairs on the 3x3 grid force two SWAPs
+   in the same decision cycle, so the second SWAP is chosen after the first
+   one has already moved an endpoint — exactly the situation where a stale
+   candidate list and a regenerated one diverge.
+
+   Iteration 1 scores the 8 lock-free edges incident to the two pending
+   pairs and picks SWAP(0,1), which makes the (q0,q2) pair adjacent.
+   Regeneration then offers only the 4 edges of the still-pending (q6,q8)
+   corner; after SWAP(6,7) nothing is pending and the loop sees 0
+   candidates. Total: 8 + 4 + 0 = 12 heuristic evaluations.
+
+   The pre-fix stale list instead re-scored its lock-free survivors — dead
+   edges included: iteration 2 evaluated the 5 unlocked survivors of the
+   original 8 (among them (2,5), whose pair is already adjacent and can
+   only score <= 0), and iteration 3 the 2 survivors left after SWAP(6,7)
+   locked its endpoints: 8 + 5 + 2 = 15 evaluations. The exact counters
+   below therefore fail against the old candidate logic. (Routed output is
+   identical either way: SWAP locks shield the stale list from ever
+   *issuing* a dead candidate, because a freshly-moved endpoint stays
+   locked for the rest of the cycle — see docs/ALGORITHM.md.) *)
+let test_swap_candidates_regenerated () =
+  let circuit =
+    Qc.Circuit.make ~n_qubits:9 [ Qc.Gate.cx 0 2; Qc.Gate.cx 6 8 ]
+  in
+  let stats = Codar.Stats.create () in
+  let r =
+    Codar.Remapper.run ~stats ~maqam:maqam_grid33 ~initial:(identity 9) circuit
+  in
+  let swaps =
+    List.filter_map
+      (fun e ->
+        match e.Schedule.Routed.gate with
+        | Qc.Gate.Two (Qc.Gate.Swap, a, b) when e.Schedule.Routed.inserted ->
+          Some (min a b, max a b, e.Schedule.Routed.start)
+        | _ -> None)
+      r.events
+  in
+  Alcotest.(check (list (triple int int int)))
+    "both SWAPs in cycle 0, one per corner"
+    [ (0, 1, 0); (6, 7, 0) ]
+    swaps;
+  Alcotest.(check int) "makespan" 8 r.makespan;
+  Alcotest.(check int) "swaps inserted" 2 stats.Codar.Stats.swaps_inserted;
+  Alcotest.(check int) "candidates offered (8+4+0)" 12
+    stats.Codar.Stats.swap_candidates;
+  Alcotest.(check int) "heuristic evals (stale list would do 15)" 12
+    stats.Codar.Stats.heuristic_evals;
+  match Schedule.Verify.check_all ~maqam:maqam_grid33 ~original:circuit r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verify: %a" Schedule.Verify.pp_error e
+
+(* --------------------------------------------------------- instrumentation *)
+
+let test_stats_counters () =
+  let circuit = Workloads.Builders.qft 6 in
+  let stats = Codar.Stats.create () in
+  let initial = Arch.Layout.identity ~n_logical:6 ~n_physical:9 in
+  let r = Codar.Remapper.run ~stats ~maqam:maqam_grid33 ~initial circuit in
+  Alcotest.(check int) "every gate issued exactly once"
+    (Qc.Circuit.length circuit)
+    stats.Codar.Stats.gates_issued;
+  Alcotest.(check int) "swap counters agree"
+    (Schedule.Routed.swap_count r)
+    stats.Codar.Stats.swaps_inserted;
+  Alcotest.(check bool) "front is recomputed" true
+    (stats.Codar.Stats.cf_recomputes > 0);
+  Alcotest.(check bool) "front cache hits" true
+    (stats.Codar.Stats.cf_cache_hits > 0);
+  Alcotest.(check bool) "time advances" true (stats.Codar.Stats.cycles > 0);
+  let rate = Codar.Stats.cf_hit_rate stats in
+  Alcotest.(check bool) "hit rate in (0,1)" true (rate > 0. && rate < 1.);
+  (* a run with stats must be bit-identical to one without *)
+  let r' = Codar.Remapper.run ~maqam:maqam_grid33 ~initial circuit in
+  Alcotest.(check bool) "stats do not perturb routing" true
+    (List.for_all2
+       (fun (a : Schedule.Routed.event) (b : Schedule.Routed.event) ->
+         Qc.Gate.equal a.gate b.gate
+         && a.start = b.start && a.duration = b.duration
+         && a.inserted = b.inserted)
+       r.events r'.events);
+  Codar.Stats.reset stats;
+  Alcotest.(check int) "reset clears counters" 0
+    stats.Codar.Stats.gates_issued
+
 let () =
   Alcotest.run "codar"
     [
@@ -344,6 +514,9 @@ let () =
           Alcotest.test_case "window" `Quick test_cf_window;
           Alcotest.test_case "max chain" `Quick test_cf_max_chain;
           Alcotest.test_case "dag mode" `Quick test_cf_dag_mode;
+          QCheck_alcotest.to_alcotest prop_cf_counted_matches_reference;
+          Alcotest.test_case "incremental cache" `Quick
+            test_cf_incremental_cache;
         ] );
       ( "heuristic",
         [
@@ -376,5 +549,8 @@ let () =
             test_spare_physical_qubits;
           Alcotest.test_case "window insensitivity" `Quick
             test_window_insensitivity;
+          Alcotest.test_case "SWAP candidates regenerated" `Quick
+            test_swap_candidates_regenerated;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
         ] );
     ]
