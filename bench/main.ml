@@ -6,7 +6,14 @@
      dune exec bench/main.exe fig9       -- fidelity maintenance
      dune exec bench/main.exe ablation   -- design-choice ablations
      dune exec bench/main.exe perf       -- Bechamel router micro-benchmarks
-     dune exec bench/main.exe fig8-fast  -- fig8 on a subset (CI-friendly) *)
+     dune exec bench/main.exe fig8-fast  -- fig8 on a subset (CI-friendly)
+
+   The routing sweeps (fig8, fig9, ablation) are independent-job fan-outs;
+   `--jobs N` (or `-j N`, anywhere on the command line) routes them over a
+   deterministic N-domain pool — output is byte-identical for every N
+   (docs/PARALLEL.md). `--jobs 0` means all cores. `perf --json PATH`
+   additionally writes the micro-benchmark estimates as JSON (the committed
+   BENCH_PR2.json snapshot is such a file). *)
 
 let superconducting = Arch.Durations.superconducting
 
@@ -26,17 +33,10 @@ let table1 () =
     "coords";
   List.iter
     (fun c ->
-      let n = Arch.Coupling.n_qubits c in
-      let diameter = ref 0 in
-      for i = 0 to n - 1 do
-        for j = 0 to n - 1 do
-          let d = Arch.Coupling.distance c i j in
-          if d <> max_int && d > !diameter then diameter := d
-        done
-      done;
-      Fmt.pr "%-22s %7d %7d %9d %7b@." (Arch.Coupling.name c) n
+      Fmt.pr "%-22s %7d %7d %9d %7b@." (Arch.Coupling.name c)
+        (Arch.Coupling.n_qubits c)
         (List.length (Arch.Coupling.edges c))
-        !diameter
+        (Arch.Coupling.diameter c)
         (Arch.Coupling.coords c <> None))
     (Arch.Devices.evaluation_devices @ [ Arch.Devices.ibm_q5 ])
 
@@ -71,7 +71,7 @@ let fig8_entries device =
   if Arch.Coupling.n_qubits device >= 54 then Workloads.Suite.all
   else Workloads.Suite.fitting ~max_qubits:16
 
-let fig8 ?(fast = false) () =
+let fig8 ?(fast = false) ~pool () =
   Fmt.pr "@.== Fig. 8: speedup ratio (SABRE weighted depth / CODAR weighted \
           depth) ==@.";
   let summary = ref [] in
@@ -91,20 +91,35 @@ let fig8 ?(fast = false) () =
         (List.length entries);
       Fmt.pr "%-16s %4s %7s %9s %9s %8s@." "benchmark" "n" "gates" "codar"
         "sabre" "speedup";
-      let speedups =
-        List.map
-          (fun (e : Workloads.Suite.entry) ->
-            let c = Lazy.force e.circuit in
+      (* force lazies before the fan-out — Lazy.force is not domain-safe —
+         then route every (benchmark, device) job on the pool and print in
+         suite order *)
+      let tasks =
+        Array.of_list
+          (List.map
+             (fun (e : Workloads.Suite.entry) -> (e, Lazy.force e.circuit))
+             entries)
+      in
+      let rows =
+        Pool.map pool
+          (fun _ ((e : Workloads.Suite.entry), c) ->
             let codar, sabre = route_pair maqam c in
-            let sp =
-              float_of_int sabre.Schedule.Routed.makespan
-              /. float_of_int codar.Schedule.Routed.makespan
-            in
-            Fmt.pr "%-16s %4d %7d %9d %9d %8.3f@." e.name e.n_qubits
-              (Qc.Circuit.length c) codar.Schedule.Routed.makespan
-              sabre.Schedule.Routed.makespan sp;
-            sp)
-          entries
+            ( e.name,
+              e.n_qubits,
+              Qc.Circuit.length c,
+              codar.Schedule.Routed.makespan,
+              sabre.Schedule.Routed.makespan ))
+          tasks
+      in
+      let speedups =
+        Array.to_list
+          (Array.map
+             (fun (name, n, gates, codar, sabre) ->
+               let sp = float_of_int sabre /. float_of_int codar in
+               Fmt.pr "%-16s %4d %7d %9d %9d %8.3f@." name n gates codar
+                 sabre sp;
+               sp)
+             rows)
       in
       let avg = arithmetic_mean speedups in
       let gm = geometric_mean speedups in
@@ -122,7 +137,7 @@ let fig8 ?(fast = false) () =
 
 (* ----------------------------------------------------------------- Fig. 9 *)
 
-let fig9 () =
+let fig9 ~pool () =
   Fmt.pr "@.== Fig. 9: fidelity of 7 algorithms under scheduled noise ==@.";
   let device = Arch.Devices.grid ~rows:3 ~cols:3 in
   let maqam = Arch.Maqam.make ~coupling:device ~durations:superconducting in
@@ -132,28 +147,49 @@ let fig9 () =
       ("damping-dominant", Sim.Noise.damping_dominant ~t1:300.);
     ]
   in
+  (* one job per (model, algorithm): route both ways and run the 30
+     noisy trajectories — the dominant cost — off the main domain *)
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun (mname, model) ->
+           List.map
+             (fun (a : Workloads.Algorithms.named) -> (mname, model, a))
+             Workloads.Algorithms.all)
+         models)
+  in
+  let rows =
+    Pool.map pool
+      (fun _ (mname, model, (a : Workloads.Algorithms.named)) ->
+        let codar, sabre = route_pair maqam a.circuit in
+        let f r =
+          Sim.Noise.fidelity ~trajectories:30 model ~maqam
+            ~original:a.circuit r
+        in
+        ( mname,
+          a.name,
+          codar.Schedule.Routed.makespan,
+          sabre.Schedule.Routed.makespan,
+          f codar,
+          f sabre ))
+      tasks
+  in
   List.iter
-    (fun (mname, model) ->
+    (fun (mname, _) ->
       Fmt.pr "@.-- %s (T1=∞ or T2-limited, 3x3 grid, 30 trajectories) --@."
         mname;
       Fmt.pr "%-10s %9s %9s %10s %10s@." "algorithm" "codar" "sabre"
         "f(codar)" "f(sabre)";
-      List.iter
-        (fun (a : Workloads.Algorithms.named) ->
-          let codar, sabre = route_pair maqam a.circuit in
-          let f r =
-            Sim.Noise.fidelity ~trajectories:30 model ~maqam
-              ~original:a.circuit r
-          in
-          Fmt.pr "%-10s %9d %9d %10.4f %10.4f@." a.name
-            codar.Schedule.Routed.makespan sabre.Schedule.Routed.makespan
-            (f codar) (f sabre))
-        Workloads.Algorithms.all)
+      Array.iter
+        (fun (m, name, mc, ms, fc, fs) ->
+          if String.equal m mname then
+            Fmt.pr "%-10s %9d %9d %10.4f %10.4f@." name mc ms fc fs)
+        rows)
     models
 
 (* --------------------------------------------------------------- Ablation *)
 
-let ablation () =
+let ablation ~pool () =
   Fmt.pr "@.== Ablation: CODAR design knobs (IBM Q20 Tokyo) ==@.";
   let maqam =
     Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo
@@ -179,42 +215,51 @@ let ablation () =
       ("no Hfine", { Codar.Remapper.default_config with use_fine = false });
     ]
   in
+  (* (variant × circuit) and (duration-profile × circuit) jobs all fan out
+     together; results are averaged per row afterwards, in row order *)
+  let speedup_of ~config maqam c =
+    let initial = Sabre.Initial_mapping.reverse_traversal ~maqam c in
+    let codar = Codar.Remapper.run ?config ~maqam ~initial c in
+    let sabre = Sabre.Router.run ~maqam ~initial c in
+    float_of_int sabre.Schedule.Routed.makespan
+    /. float_of_int codar.Schedule.Routed.makespan
+  in
+  let variant_rows =
+    List.map (fun (vname, config) -> (vname, Some config, maqam)) variants
+  in
+  let profile_rows =
+    List.map
+      (fun durations ->
+        ( Arch.Durations.name durations,
+          None,
+          Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo ~durations ))
+      Arch.Durations.all_presets
+  in
+  let rows = variant_rows @ profile_rows in
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun (_, config, maqam) ->
+           List.map (fun (_, c) -> (config, maqam, c)) circuits)
+         rows)
+  in
+  let speedups =
+    Pool.map pool (fun _ (config, maqam, c) -> speedup_of ~config maqam c) tasks
+  in
+  let per_row = List.length circuits in
+  let avg_of_row i =
+    arithmetic_mean
+      (Array.to_list (Array.sub speedups (i * per_row) per_row))
+  in
   Fmt.pr "%-22s %s@." "variant" "avg speedup vs SABRE";
-  List.iter
-    (fun (vname, config) ->
-      let speedups =
-        List.map
-          (fun (_, c) ->
-            let initial =
-              Sabre.Initial_mapping.reverse_traversal ~maqam c
-            in
-            let codar = Codar.Remapper.run ~config ~maqam ~initial c in
-            let sabre = Sabre.Router.run ~maqam ~initial c in
-            float_of_int sabre.Schedule.Routed.makespan
-            /. float_of_int codar.Schedule.Routed.makespan)
-          circuits
-      in
-      Fmt.pr "%-22s %.3f@." vname (arithmetic_mean speedups))
-    variants;
-  Fmt.pr "@.-- duration profile sensitivity (same subset, default CODAR) --@.";
-  List.iter
-    (fun durations ->
-      let maqam =
-        Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo ~durations
-      in
-      let speedups =
-        List.map
-          (fun (_, c) ->
-            let initial = Sabre.Initial_mapping.reverse_traversal ~maqam c in
-            let codar = Codar.Remapper.run ~maqam ~initial c in
-            let sabre = Sabre.Router.run ~maqam ~initial c in
-            float_of_int sabre.Schedule.Routed.makespan
-            /. float_of_int codar.Schedule.Routed.makespan)
-          circuits
-      in
-      Fmt.pr "%-22s %.3f@." (Arch.Durations.name durations)
-        (arithmetic_mean speedups))
-    Arch.Durations.all_presets
+  List.iteri
+    (fun i (vname, _, _) ->
+      if i = List.length variants then
+        Fmt.pr
+          "@.-- duration profile sensitivity (same subset, default CODAR) \
+           --@.";
+      Fmt.pr "%-22s %.3f@." vname (avg_of_row i))
+    rows
 
 (* ------------------------------------------------ Initial-mapping study *)
 
@@ -358,7 +403,7 @@ let esp () =
 
 (* ------------------------------------------------------------------- Perf *)
 
-let perf () =
+let perf ?json () =
   Fmt.pr "@.== Bechamel micro-benchmarks (one per experiment driver) ==@.";
   let open Bechamel in
   let tokyo =
@@ -435,6 +480,7 @@ let perf () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results =
@@ -444,14 +490,42 @@ let perf () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Fmt.pr "%-36s %12.0f ns/run@." name est
+          | Some [ est ] ->
+            estimates := (name, est) :: !estimates;
+            Fmt.pr "%-36s %12.0f ns/run@." name est
           | Some _ | None -> Fmt.pr "%-36s (no estimate)@." name)
         results)
     tests;
   Fmt.pr "@.-- router instrumentation (one qft16 pass on Tokyo) --@.";
   let stats = Codar.Stats.create () in
   ignore (Codar.Remapper.run ~stats ~maqam:tokyo ~initial:initial16 qft16);
-  Fmt.pr "%a@." Codar.Stats.pp stats
+  Fmt.pr "%a@." Codar.Stats.pp stats;
+  match json with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Report.Json.Obj
+        [
+          ("schema", Report.Json.String "codar-bench-perf/1");
+          ("ocaml", Report.Json.String Sys.ocaml_version);
+          ( "benchmarks",
+            Report.Json.List
+              (List.rev_map
+                 (fun (name, ns) ->
+                   Report.Json.Obj
+                     [
+                       ("name", Report.Json.String name);
+                       ("ns_per_run", Report.Json.Float ns);
+                     ])
+                 !estimates) );
+          ( "router_stats_qft16_tokyo",
+            Report.Record.stats_to_json stats );
+        ]
+    in
+    let oc = open_out path in
+    Report.Json.output oc doc;
+    close_out oc;
+    Fmt.pr "wrote %s@." path
 
 (* ------------------------------------------------------------------ smoke *)
 
@@ -484,39 +558,90 @@ let smoke () =
   Fmt.pr "smoke: routed qft_6 on tokyo (makespan %d, %d swaps)@."
     routed.Schedule.Routed.makespan
     (Schedule.Routed.swap_count routed);
-  Fmt.pr "smoke: %a@." Codar.Stats.pp stats
+  Fmt.pr "smoke: %a@." Codar.Stats.pp stats;
+  (* parallel path: the pool and the portfolio must agree with their
+     sequential selves on every runtest *)
+  let circuits =
+    Array.of_list
+      (List.filter_map
+         (fun n ->
+           Option.map
+             (fun (e : Workloads.Suite.entry) -> Lazy.force e.circuit)
+             (Workloads.Suite.find n))
+         [ "qft_4"; "qft_6"; "ghz_8" ])
+  in
+  if Array.length circuits < 2 then Fmt.failwith "smoke: tiny suite missing";
+  let route_one _ c =
+    let initial = Sabre.Initial_mapping.reverse_traversal ~maqam c in
+    (Codar.Remapper.run ~maqam ~initial c).Schedule.Routed.makespan
+  in
+  let seq = Array.map (fun c -> route_one 0 c) circuits in
+  let par = Pool.with_pool ~jobs:2 (fun p -> Pool.map p route_one circuits) in
+  if seq <> par then
+    Fmt.failwith "smoke: pool(jobs=2) disagrees with sequential routing";
+  let portfolio jobs =
+    Pool.with_pool ~jobs (fun p ->
+        let c = circuits.(0) in
+        let initial = Sabre.Initial_mapping.reverse_traversal ~maqam c in
+        Codar.Portfolio.run ~pool:p ~restarts:4 ~maqam ~initial c)
+  in
+  let p1 = portfolio 1 and p2 = portfolio 2 in
+  if p1.Codar.Portfolio.winner <> p2.Codar.Portfolio.winner
+     || p1.Codar.Portfolio.scores <> p2.Codar.Portfolio.scores
+  then Fmt.failwith "smoke: portfolio not deterministic across job counts";
+  Fmt.pr "smoke: pool jobs=2 deterministic; portfolio winner %d of %d \
+          (makespan %d)@."
+    p1.Codar.Portfolio.winner
+    (Array.length p1.Codar.Portfolio.scores)
+    p1.Codar.Portfolio.routed.Schedule.Routed.makespan
 
 (* ------------------------------------------------------------------ main *)
 
+let usage () =
+  Fmt.epr
+    "usage: main.exe \
+     [all|table1|fig8|fig8-fast|fig9|ablation|initmap|swaps|baselines|esp|\
+     perf|smoke] [-j|--jobs N] [--json PATH]@.";
+  exit 2
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec extract jobs json acc = function
+    | [] -> (jobs, json, List.rev acc)
+    | ("-j" | "--jobs") :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> extract n json acc rest
+      | Some _ | None -> usage ())
+    | [ "-j" ] | [ "--jobs" ] | [ "--json" ] -> usage ()
+    | "--json" :: v :: rest -> extract jobs (Some v) acc rest
+    | x :: rest -> extract jobs json (x :: acc) rest
+  in
+  let jobs, json, args = extract 1 None [] (List.tl (Array.to_list Sys.argv)) in
+  let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
   let t0 = Unix.gettimeofday () in
-  (match args with
-  | [] | [ "all" ] ->
-    table1 ();
-    fig8 ();
-    fig9 ();
-    ablation ();
-    initmap ();
-    swaps ();
-    baselines ();
-    esp ();
-    perf ()
-  | [ "table1" ] -> table1 ()
-  | [ "fig8" ] -> fig8 ()
-  | [ "fig8-fast" ] -> fig8 ~fast:true ()
-  | [ "fig9" ] -> fig9 ()
-  | [ "ablation" ] -> ablation ()
-  | [ "initmap" ] -> initmap ()
-  | [ "swaps" ] -> swaps ()
-  | [ "baselines" ] -> baselines ()
-  | [ "esp" ] -> esp ()
-  | [ "perf" ] -> perf ()
-  | [ "smoke" ] -> smoke ()
-  | _ ->
-    Fmt.epr
-      "usage: main.exe \
-       [all|table1|fig8|fig8-fast|fig9|ablation|initmap|swaps|baselines|esp|\
-       perf|smoke]@.";
-    exit 2);
-  Fmt.pr "@.(total wall time: %.1fs)@." (Unix.gettimeofday () -. t0)
+  Pool.with_pool ~jobs (fun pool ->
+      match args with
+      | [] | [ "all" ] ->
+        table1 ();
+        fig8 ~pool ();
+        fig9 ~pool ();
+        ablation ~pool ();
+        initmap ();
+        swaps ();
+        baselines ();
+        esp ();
+        perf ?json ()
+      | [ "table1" ] -> table1 ()
+      | [ "fig8" ] -> fig8 ~pool ()
+      | [ "fig8-fast" ] -> fig8 ~fast:true ~pool ()
+      | [ "fig9" ] -> fig9 ~pool ()
+      | [ "ablation" ] -> ablation ~pool ()
+      | [ "initmap" ] -> initmap ()
+      | [ "swaps" ] -> swaps ()
+      | [ "baselines" ] -> baselines ()
+      | [ "esp" ] -> esp ()
+      | [ "perf" ] -> perf ?json ()
+      | [ "smoke" ] -> smoke ()
+      | _ -> usage ());
+  Fmt.pr "@.(total wall time with %d job%s: %.1fs)@." jobs
+    (if jobs = 1 then "" else "s")
+    (Unix.gettimeofday () -. t0)

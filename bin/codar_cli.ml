@@ -38,6 +38,54 @@ let route ?stats router maqam initial circuit =
   | `Sabre -> Sabre.Router.run ~maqam ~initial circuit
   | `Astar -> Astar.Router.run ~maqam ~initial circuit
 
+let router_name = function
+  | `Codar -> "codar"
+  | `Sabre -> "sabre"
+  | `Astar -> "astar"
+  | `Portfolio -> "portfolio"
+
+(* One timed routing job, producing the machine-readable record shared by
+   [map --json] and every [batch] line. [`Portfolio] routes its restarts
+   inside the job (the surrounding batch already owns the pool). *)
+let route_record ?(restarts = 8) ?(seed = 0) ~collect_stats ~source ~placement
+    router maqam initial circuit =
+  let stats =
+    match (collect_stats, router) with
+    | true, (`Codar | `Portfolio) -> Some (Codar.Stats.create ())
+    | _ -> None
+  in
+  let t0 = Unix.gettimeofday () in
+  let routed, portfolio =
+    match router with
+    | (`Codar | `Sabre | `Astar) as r ->
+      (route ?stats r maqam initial circuit, None)
+    | `Portfolio ->
+      let refine layout =
+        Sabre.Initial_mapping.reverse_traversal ~initial:layout ~maqam circuit
+      in
+      let o = Codar.Portfolio.run ~restarts ~seed ~refine ~maqam ~initial circuit in
+      (* portfolio restarts are uninstrumented (shared counters are not
+         domain-safe); re-route the winner alone to report its stats *)
+      (match stats with
+      | Some s ->
+        ignore
+          (Codar.Remapper.run ~stats:s ~maqam
+             ~initial:o.Codar.Portfolio.routed.Schedule.Routed.initial circuit)
+      | None -> ());
+      ( o.Codar.Portfolio.routed,
+        Some
+          {
+            Report.Record.restarts = Array.length o.Codar.Portfolio.scores;
+            winner = o.Codar.Portfolio.winner;
+            scores = o.Codar.Portfolio.scores;
+          } )
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  ( Report.Record.make ~source ~router:(router_name router)
+      ~placement:(Placement.name placement) ~wall_s ?stats ?portfolio ~maqam
+      ~original:circuit routed,
+    routed )
+
 let map_cmd =
   let input =
     Arg.(value & opt (some file) None & info [ "input"; "i" ] ~doc:"OpenQASM input file.")
@@ -55,9 +103,15 @@ let map_cmd =
   in
   let router =
     Arg.(value
-         & opt (enum [ ("codar", `Codar); ("sabre", `Sabre); ("astar", `Astar) ])
+         & opt
+             (enum
+                [ ("codar", `Codar); ("sabre", `Sabre); ("astar", `Astar);
+                  ("portfolio", `Portfolio) ])
              `Codar
-         & info [ "router"; "r" ] ~doc:"Routing algorithm: codar, sabre, astar.")
+         & info [ "router"; "r" ]
+             ~doc:"Routing algorithm: codar, sabre, astar, or portfolio \
+                   (CODAR over --restarts random-restart initial layouts, \
+                   deterministic best-of-K).")
   in
   let output =
     Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Write routed OpenQASM here.")
@@ -93,18 +147,37 @@ let map_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~doc:"Write the timeline as CSV here.")
   in
+  let json =
+    Arg.(value & opt ~vopt:(Some "-") (some string) None
+         & info [ "json" ]
+             ~doc:"Write the routing record as JSON ('-' or no argument = \
+                   stdout); the schema is shared with `codar_cli batch`.")
+  in
+  let restarts =
+    Arg.(value & opt int 8
+         & info [ "restarts" ] ~doc:"Portfolio restarts (router = portfolio).")
+  in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~doc:"Portfolio restart RNG seed.")
+  in
   let run input bench arch durations router output verify timeline compare_
-      placement optimize gantt stats csv =
+      placement optimize gantt stats csv json restarts seed =
+    let source =
+      match (input, bench) with
+      | Some p, _ -> p
+      | None, Some b -> b
+      | None, None -> "?"
+    in
     let circuit = load_circuit input bench in
     let circuit = if optimize then Qc.Optimize.optimize circuit else circuit in
     let maqam = Arch.Maqam.make ~coupling:arch ~durations in
     let initial = Placement.compute placement ~maqam circuit in
-    let router_stats =
-      match (stats, router) with
-      | true, `Codar -> Some (Codar.Stats.create ())
-      | (false, _ | _, (`Sabre | `Astar)) -> None
+    let record, result =
+      route_record ~restarts ~seed ~collect_stats:stats ~source ~placement
+        router maqam initial circuit
     in
-    let result = route ?stats:router_stats router maqam initial circuit in
+    let router_stats = record.Report.Record.stats in
     Fmt.pr "device:        %s (%d qubits)@." (Arch.Coupling.name arch)
       (Arch.Coupling.n_qubits arch);
     Fmt.pr "durations:     %a@." Arch.Durations.pp durations;
@@ -115,13 +188,22 @@ let map_cmd =
       (Schedule.Routed.gate_count result)
       (Schedule.Routed.swap_count result)
       result.Schedule.Routed.makespan;
+    (match record.Report.Record.portfolio with
+    | Some p ->
+      Fmt.pr "portfolio:     restart %d of %d won (scores %a)@."
+        p.Report.Record.winner p.Report.Record.restarts
+        Fmt.(array ~sep:(any " ") int)
+        p.Report.Record.scores
+    | None -> ());
     if compare_ then begin
       let other =
-        match router with `Codar -> `Sabre | `Sabre | `Astar -> `Codar
+        match router with
+        | `Codar | `Portfolio -> `Sabre
+        | `Sabre | `Astar -> `Codar
       in
       let o = route other maqam initial circuit in
-      let name = match other with `Codar -> "codar" | `Sabre -> "sabre" | `Astar -> "astar" in
-      Fmt.pr "%s makespan: %d (ratio %.3f)@." name o.Schedule.Routed.makespan
+      Fmt.pr "%s makespan: %d (ratio %.3f)@." (router_name other)
+        o.Schedule.Routed.makespan
         (float_of_int o.Schedule.Routed.makespan
         /. float_of_int result.Schedule.Routed.makespan)
     end;
@@ -149,6 +231,14 @@ let map_cmd =
       output_string oc (Schedule.Stats.to_csv result);
       close_out oc;
       Fmt.pr "wrote %s@." path);
+    (match json with
+    | None -> ()
+    | Some "-" -> print_string (Report.Json.to_string (Report.Record.to_json record) ^ "\n")
+    | Some path ->
+      let oc = open_out path in
+      Report.Json.output oc (Report.Record.to_json record);
+      close_out oc;
+      Fmt.pr "wrote %s@." path);
     match output with
     | None -> ()
     | Some path ->
@@ -162,7 +252,196 @@ let map_cmd =
   Cmd.v (Cmd.info "map" ~doc:"Route a circuit onto a device.")
     Term.(const run $ input $ bench $ arch $ durations $ router $ output
           $ verify $ timeline $ compare_ $ placement $ optimize $ gantt
-          $ stats $ csv)
+          $ stats $ csv $ json $ restarts $ seed)
+
+(* Route many circuits in one invocation, fanned out over a deterministic
+   domain pool: output (human and JSON) is identical for every --jobs. *)
+let batch_cmd =
+  let inputs =
+    Arg.(value & opt_all file []
+         & info [ "input"; "i" ] ~doc:"OpenQASM input file (repeatable).")
+  in
+  let benches =
+    Arg.(value & opt_all string []
+         & info [ "bench"; "b" ] ~doc:"Built-in benchmark name (repeatable).")
+  in
+  let fitting =
+    Arg.(value & opt (some int) None
+         & info [ "fitting" ]
+             ~doc:"Also route every built-in benchmark with at most N qubits.")
+  in
+  let arch =
+    Arg.(value & opt arch_conv Arch.Devices.ibm_q20_tokyo
+         & info [ "arch"; "a" ] ~doc:"Target device.")
+  in
+  let durations =
+    Arg.(value & opt durations_conv Arch.Durations.superconducting
+         & info [ "durations"; "d" ] ~doc:"Duration profile: sc, ion, atom, uniform.")
+  in
+  let router =
+    Arg.(value
+         & opt
+             (enum
+                [ ("codar", `Codar); ("sabre", `Sabre); ("astar", `Astar);
+                  ("portfolio", `Portfolio) ])
+             `Codar
+         & info [ "router"; "r" ]
+             ~doc:"Routing algorithm: codar, sabre, astar, portfolio.")
+  in
+  let placement_conv =
+    let parse s =
+      match Placement.of_name s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Fmt.str "unknown placement strategy %S" s))
+    in
+    Arg.conv (parse, fun ppf p -> Fmt.string ppf (Placement.name p))
+  in
+  let placement =
+    Arg.(value & opt placement_conv (Placement.Reverse_traversal 1)
+         & info [ "placement"; "p" ] ~doc:"Initial mapping strategy.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ]
+             ~doc:"Worker domains for the fan-out (0 = all cores). Results \
+                   are bit-identical for every value (docs/PARALLEL.md).")
+  in
+  let restarts =
+    Arg.(value & opt int 8
+         & info [ "restarts" ] ~doc:"Portfolio restarts (router = portfolio).")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Portfolio restart RNG seed.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ]
+             ~doc:"Write per-job records as JSON here ('-' = stdout, which \
+                   suppresses the human table).")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Collect CODAR instrumentation counters into each record.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Semantically verify every routed result; exit 1 on any \
+                   failure.")
+  in
+  let run inputs benches fitting arch durations router placement jobs restarts
+      seed json stats verify =
+    let maqam = Arch.Maqam.make ~coupling:arch ~durations in
+    (* load everything sequentially before the fan-out: QASM parsing and
+       Lazy.force must not run concurrently *)
+    let of_bench (e : Workloads.Suite.entry) = (e.name, Lazy.force e.circuit) in
+    let named =
+      List.filter_map
+        (fun b ->
+          match Workloads.Suite.find b with
+          | Some e -> Some (of_bench e)
+          | None ->
+            Fmt.failwith "unknown benchmark %S (see `codar_cli benchmarks`)" b)
+        benches
+    in
+    let suite =
+      match fitting with
+      | None -> []
+      | Some n -> List.map of_bench (Workloads.Suite.fitting ~max_qubits:n)
+    in
+    let files = List.map (fun p -> (p, Qasm.Parser.parse_file p)) inputs in
+    let targets = Array.of_list (named @ suite @ files) in
+    if Array.length targets = 0 then
+      Fmt.failwith "nothing to route: give --bench, --input or --fitting";
+    let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.map pool
+            (fun _ (source, circuit) ->
+              let initial = Placement.compute placement ~maqam circuit in
+              let record, routed =
+                route_record ~restarts ~seed ~collect_stats:stats ~source
+                  ~placement router maqam initial circuit
+              in
+              let verified =
+                if verify then
+                  match
+                    Schedule.Verify.check_all ~maqam ~original:circuit routed
+                  with
+                  | Ok () -> true
+                  | Error _ -> false
+                else true
+              in
+              (record, verified))
+            targets)
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let records = Array.map fst results in
+    let human = json <> Some "-" in
+    if human then begin
+      Fmt.pr "%-16s %4s %7s %9s %9s %6s %9s@." "source" "n" "gates"
+        "weighted" "raw" "swaps" "wall-ms";
+      Array.iter
+        (fun (r : Report.Record.t) ->
+          Fmt.pr "%-16s %4d %7d %9d %9d %6d %9.1f@." r.source r.n_qubits
+            r.gates r.weighted_depth r.raw_depth r.swaps (r.wall_s *. 1e3))
+        records;
+      let total f = Array.fold_left (fun acc r -> acc + f r) 0 records in
+      Fmt.pr
+        "routed %d circuits on %s [%s, %s]: total weighted depth %d, %d \
+         swaps, %.2fs wall (%d job%s)@."
+        (Array.length records) (Arch.Coupling.name arch)
+        (Arch.Durations.name durations) (router_name router)
+        (total (fun r -> r.Report.Record.weighted_depth))
+        (total (fun r -> r.Report.Record.swaps))
+        wall_s jobs
+        (if jobs = 1 then "" else "s")
+    end;
+    (match json with
+    | None -> ()
+    | Some dest ->
+      let doc =
+        Report.Json.Obj
+          [
+            ("schema", Report.Json.String "codar-batch/1");
+            ("arch", Report.Json.String (Arch.Coupling.name arch));
+            ("durations", Report.Json.String (Arch.Durations.name durations));
+            ("router", Report.Json.String (router_name router));
+            ("jobs", Report.Json.Int jobs);
+            ("wall_s", Report.Json.Float wall_s);
+            ( "records",
+              Report.Json.List
+                (Array.to_list
+                   (Array.map Report.Record.to_json records)) );
+          ]
+      in
+      if dest = "-" then print_string (Report.Json.to_string doc ^ "\n")
+      else begin
+        let oc = open_out dest in
+        Report.Json.output oc doc;
+        close_out oc;
+        if human then Fmt.pr "wrote %s@." dest
+      end);
+    if verify then begin
+      let failed =
+        Array.to_list results
+        |> List.filter_map (fun ((r : Report.Record.t), ok) ->
+               if ok then None else Some r.Report.Record.source)
+      in
+      match failed with
+      | [] -> if human then Fmt.pr "verify:        OK (%d circuits)@." (Array.length results)
+      | l ->
+        Fmt.epr "verify FAILED: %a@." Fmt.(list ~sep:comma string) l;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Route many circuits with a parallel, deterministic job pool.")
+    Term.(const run $ inputs $ benches $ fitting $ arch $ durations $ router
+          $ placement $ jobs $ restarts $ seed $ json $ stats $ verify)
 
 let devices_cmd =
   let run () =
@@ -191,4 +470,4 @@ let benchmarks_cmd =
 let () =
   let info = Cmd.info "codar_cli" ~version:"1.0.0"
       ~doc:"Contextual duration-aware qubit mapping (CODAR, DAC 2020)." in
-  exit (Cmd.eval (Cmd.group info [ map_cmd; devices_cmd; benchmarks_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ map_cmd; batch_cmd; devices_cmd; benchmarks_cmd ]))

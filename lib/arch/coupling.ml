@@ -6,6 +6,7 @@ type t = {
   deg : int array;
   edges : (int * int) list;
   dist : int array array;
+  diameter : int;
   coords : (float * float) array option;
 }
 
@@ -57,7 +58,15 @@ let make ?coords ~name ~n edge_list =
     edges;
   let deg = Array.map List.length adj in
   let dist = Array.init n (fun src -> bfs_distances n adj src) in
-  { name; n; adj; adjm; deg; edges; dist; coords }
+  let diameter =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc d -> if d <> max_int && d > acc then d else acc)
+          acc row)
+      0 dist
+  in
+  { name; n; adj; adjm; deg; edges; dist; diameter; coords }
 
 let name t = t.name
 let n_qubits t = t.n
@@ -70,6 +79,7 @@ let adjacent t a b =
   Bytes.get t.adjm ((a * t.n) + b) <> '\000'
 
 let distance t a b = t.dist.(a).(b)
+let diameter t = t.diameter
 
 let connected t =
   t.n = 0 || Array.for_all (fun d -> d <> max_int) t.dist.(0)

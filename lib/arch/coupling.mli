@@ -32,6 +32,11 @@ val adjacent : t -> int -> int -> bool
 val distance : t -> int -> int -> int
 (** Shortest path length in edges; [max_int] when disconnected. *)
 
+val diameter : t -> int
+(** O(1): the largest {e finite} pairwise distance, precomputed at
+    {!make} time (0 for the empty or edgeless graph; disconnected pairs are
+    ignored rather than poisoning the value with [max_int]). *)
+
 val connected : t -> bool
 
 val coords : t -> (float * float) array option

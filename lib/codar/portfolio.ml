@@ -1,0 +1,37 @@
+type outcome = {
+  routed : Schedule.Routed.t;
+  winner : int;
+  scores : int array;
+}
+
+let restart_layout ~seed ~initial ~n_logical ~n_physical ?refine k =
+  if k = 0 then initial
+  else
+    (* seeded by restart index only: bit-identical for any pool size *)
+    let rng = Random.State.make [| 0x0c0da5; seed; k |] in
+    let layout = Arch.Layout.random rng ~n_logical ~n_physical in
+    match refine with None -> layout | Some f -> f layout
+
+let run ?pool ?config ?(restarts = 8) ?(seed = 0) ?refine ~maqam ~initial
+    circuit =
+  if restarts < 1 then invalid_arg "Portfolio.run: restarts must be >= 1";
+  let n_logical = Qc.Circuit.n_qubits circuit in
+  let n_physical = Arch.Maqam.n_qubits maqam in
+  let route k () =
+    let layout =
+      restart_layout ~seed ~initial ~n_logical ~n_physical ?refine k
+    in
+    Remapper.run ?config ~maqam ~initial:layout circuit
+  in
+  let tasks = Array.init restarts (fun k -> k) in
+  let results =
+    match pool with
+    | Some p -> Pool.map p (fun k _ -> route k ()) tasks
+    | None -> Array.map (fun k -> route k ()) tasks
+  in
+  let scores =
+    Array.map (fun (r : Schedule.Routed.t) -> r.Schedule.Routed.makespan) results
+  in
+  let winner = ref 0 in
+  Array.iteri (fun k s -> if s < scores.(!winner) then winner := k) scores;
+  { routed = results.(!winner); winner = !winner; scores }

@@ -1,0 +1,39 @@
+(** Random-restart routing portfolio (SABRE-style, Li et al. ASPLOS 2019).
+
+    Initial mapping dominates routed depth, and good layouts are cheap to
+    try: route the same circuit from [restarts] independent initial layouts
+    and keep the best result. The restarts are embarrassingly parallel, so
+    they fan out over a {!Pool.t} — and stay {e deterministic}:
+
+    - restart 0 always uses the caller's [initial] layout unchanged (the
+      portfolio can never do worse than the single-shot baseline);
+    - restart [k > 0] draws a uniformly random layout from an RNG seeded by
+      [(seed, k)] — a pure function of the restart index, never of
+      scheduling — optionally refined by [refine] (e.g. a SABRE reverse
+      traversal via {!Sabre.Initial_mapping.reverse_traversal}'s [initial]);
+    - the winner minimises [(weighted depth, restart index)], so ties break
+      identically for every [--jobs].
+
+    Restart routes are not instrumented: {!Stats.t} counters are plain
+    mutable fields and must not be bumped from several domains. *)
+
+type outcome = {
+  routed : Schedule.Routed.t;  (** the winning route *)
+  winner : int;  (** restart index of [routed] *)
+  scores : int array;  (** weighted depth per restart, indexed by restart *)
+}
+
+val run :
+  ?pool:Pool.t ->
+  ?config:Remapper.config ->
+  ?restarts:int ->
+  ?seed:int ->
+  ?refine:(Arch.Layout.t -> Arch.Layout.t) ->
+  maqam:Arch.Maqam.t ->
+  initial:Arch.Layout.t ->
+  Qc.Circuit.t ->
+  outcome
+(** [run ~maqam ~initial circuit] routes [restarts] (default 8, must be
+    ≥ 1) layouts — sequentially when [pool] is absent, which is
+    output-identical to any pool — and returns the deterministic winner.
+    [seed] defaults to 0. Raises like {!Remapper.run}. *)

@@ -1,0 +1,80 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else
+    (* shortest representation that round-trips and still parses as a JSON
+       number (%h or "inf" never escape this function) *)
+    let s = Printf.sprintf "%.12g" f in
+    if Float.of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_string ?(indent = 2) t =
+  let b = Buffer.create 256 in
+  let pad level =
+    if indent > 0 then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (level * indent) ' ')
+    end
+  in
+  let rec go level = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_repr f)
+    | String s -> escape b s
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          pad (level + 1);
+          go (level + 1) item)
+        items;
+      pad level;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          pad (level + 1);
+          escape b k;
+          Buffer.add_string b (if indent > 0 then ": " else ":");
+          go (level + 1) v)
+        fields;
+      pad level;
+      Buffer.add_char b '}'
+  in
+  go 0 t;
+  Buffer.contents b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let output oc t =
+  output_string oc (to_string t);
+  output_char oc '\n'

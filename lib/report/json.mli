@@ -1,0 +1,26 @@
+(** A minimal JSON value and serialiser.
+
+    The toolchain has no JSON dependency, and the machine-readable outputs
+    ([codar_cli map --json], [codar_cli batch], [bench perf --json]) only
+    {e emit} JSON — so this is the whole story: a value tree and a
+    serialiser producing RFC 8259-conformant text. There is deliberately no
+    parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite floats serialise as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** [indent] (default 2) spaces per nesting level; [indent = 0] gives
+    compact single-line output. *)
+
+val pp : Format.formatter -> t -> unit
+(** [to_string ~indent:2], for [%a]. *)
+
+val output : out_channel -> t -> unit
+(** Serialise with a trailing newline. *)

@@ -1,0 +1,97 @@
+type portfolio = { restarts : int; winner : int; scores : int array }
+
+type t = {
+  source : string;
+  arch : string;
+  n_physical : int;
+  durations : string;
+  router : string;
+  placement : string;
+  n_qubits : int;
+  gates : int;
+  unrouted_weighted_depth : int;
+  weighted_depth : int;
+  raw_depth : int;
+  events : int;
+  swaps : int;
+  wall_s : float;
+  stats : Codar.Stats.t option;
+  portfolio : portfolio option;
+}
+
+let make ~source ~router ~placement ~wall_s ?stats ?portfolio ~maqam ~original
+    (routed : Schedule.Routed.t) =
+  let coupling = Arch.Maqam.coupling maqam in
+  let durations = Arch.Maqam.durations maqam in
+  let n_physical = Arch.Coupling.n_qubits coupling in
+  {
+    source;
+    arch = Arch.Coupling.name coupling;
+    n_physical;
+    durations = Arch.Durations.name durations;
+    router;
+    placement;
+    n_qubits = Qc.Circuit.n_qubits original;
+    gates = Qc.Circuit.length original;
+    unrouted_weighted_depth =
+      Qc.Metrics.weighted_depth
+        ~weight:(Arch.Durations.of_gate durations)
+        original;
+    weighted_depth = routed.Schedule.Routed.makespan;
+    raw_depth =
+      Qc.Metrics.depth (Schedule.Routed.to_physical_circuit ~n_physical routed);
+    events = Schedule.Routed.gate_count routed;
+    swaps = Schedule.Routed.swap_count routed;
+    wall_s;
+    stats;
+    portfolio;
+  }
+
+let stats_to_json (s : Codar.Stats.t) =
+  Json.Obj
+    [
+      ("cf_recomputes", Json.Int s.Codar.Stats.cf_recomputes);
+      ("cf_cache_hits", Json.Int s.Codar.Stats.cf_cache_hits);
+      ("cf_hit_rate", Json.Float (Codar.Stats.cf_hit_rate s));
+      ("pair_resolutions", Json.Int s.Codar.Stats.pair_resolutions);
+      ("heuristic_evals", Json.Int s.Codar.Stats.heuristic_evals);
+      ("swap_candidates", Json.Int s.Codar.Stats.swap_candidates);
+      ("swaps_inserted", Json.Int s.Codar.Stats.swaps_inserted);
+      ("forced_swaps", Json.Int s.Codar.Stats.forced_swaps);
+      ("gates_issued", Json.Int s.Codar.Stats.gates_issued);
+      ("cycles", Json.Int s.Codar.Stats.cycles);
+    ]
+
+let portfolio_to_json (p : portfolio) =
+  Json.Obj
+    [
+      ("restarts", Json.Int p.restarts);
+      ("winner", Json.Int p.winner);
+      ("scores", Json.List (Array.to_list (Array.map (fun s -> Json.Int s) p.scores)));
+    ]
+
+let to_json t =
+  Json.Obj
+    ([
+       ("source", Json.String t.source);
+       ("arch", Json.String t.arch);
+       ("n_physical", Json.Int t.n_physical);
+       ("durations", Json.String t.durations);
+       ("router", Json.String t.router);
+       ("placement", Json.String t.placement);
+       ("n_qubits", Json.Int t.n_qubits);
+       ("gates", Json.Int t.gates);
+       ("unrouted_weighted_depth", Json.Int t.unrouted_weighted_depth);
+       ("weighted_depth", Json.Int t.weighted_depth);
+       ("raw_depth", Json.Int t.raw_depth);
+       ("events", Json.Int t.events);
+       ("swaps", Json.Int t.swaps);
+       ("wall_s", Json.Float t.wall_s);
+     ]
+    @ (match t.stats with
+      | Some s -> [ ("router_stats", stats_to_json s) ]
+      | None -> [])
+    @
+    match t.portfolio with
+    | Some p -> [ ("portfolio", portfolio_to_json p) ]
+    | None -> [])

@@ -1,0 +1,51 @@
+(** One machine-readable routing result.
+
+    The single schema behind [codar_cli map --json], every per-job record of
+    [codar_cli batch], and the smoke checks — so the three can never drift
+    apart. A record captures what the paper measures (weighted depth) plus
+    what an engineer consuming batches needs (raw depth, SWAP count, wall
+    time, router instrumentation). *)
+
+type portfolio = {
+  restarts : int;
+  winner : int;  (** restart index whose route was kept *)
+  scores : int array;  (** weighted depth per restart, by restart index *)
+}
+
+type t = {
+  source : string;  (** benchmark name or QASM path *)
+  arch : string;
+  n_physical : int;
+  durations : string;
+  router : string;
+  placement : string;
+  n_qubits : int;
+  gates : int;  (** original gate count *)
+  unrouted_weighted_depth : int;  (** lower bound for any routing *)
+  weighted_depth : int;  (** the routed makespan — the paper's metric *)
+  raw_depth : int;  (** unit-duration depth of the routed circuit *)
+  events : int;
+  swaps : int;  (** router-inserted SWAPs *)
+  wall_s : float;  (** routing wall-clock time, seconds *)
+  stats : Codar.Stats.t option;  (** CODAR instrumentation, when collected *)
+  portfolio : portfolio option;
+}
+
+val make :
+  source:string ->
+  router:string ->
+  placement:string ->
+  wall_s:float ->
+  ?stats:Codar.Stats.t ->
+  ?portfolio:portfolio ->
+  maqam:Arch.Maqam.t ->
+  original:Qc.Circuit.t ->
+  Schedule.Routed.t ->
+  t
+(** Derives every circuit/schedule field from [original] and the routed
+    result. *)
+
+val to_json : t -> Json.t
+
+val stats_to_json : Codar.Stats.t -> Json.t
+(** Also used by [bench perf --json] for the instrumentation section. *)

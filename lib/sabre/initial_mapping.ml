@@ -1,5 +1,5 @@
-let reverse_traversal ?(iterations = 1) ?(config = Router.default_config)
-    ~maqam circuit =
+let reverse_traversal ?initial ?(iterations = 1)
+    ?(config = Router.default_config) ~maqam circuit =
   let n_physical = Arch.Maqam.n_qubits maqam in
   let n_logical = Qc.Circuit.n_qubits circuit in
   let reversed = Qc.Circuit.reverse circuit in
@@ -12,4 +12,14 @@ let reverse_traversal ?(iterations = 1) ?(config = Router.default_config)
       in
       go after_bwd (k - 1)
   in
-  go (Arch.Layout.identity ~n_logical ~n_physical) iterations
+  let start =
+    match initial with
+    | Some l ->
+      if
+        Arch.Layout.n_logical l <> n_logical
+        || Arch.Layout.n_physical l <> n_physical
+      then invalid_arg "Initial_mapping.reverse_traversal: layout size mismatch";
+      l
+    | None -> Arch.Layout.identity ~n_logical ~n_physical
+  in
+  go start iterations

@@ -8,11 +8,17 @@
     fed the layout computed here. *)
 
 val reverse_traversal :
+  ?initial:Arch.Layout.t ->
   ?iterations:int ->
   ?config:Router.config ->
   maqam:Arch.Maqam.t ->
   Qc.Circuit.t ->
   Arch.Layout.t
-(** [reverse_traversal ~maqam circuit] starts from the identity layout and
-    performs [iterations] (default 1) forward+backward passes, returning the
-    layout to start the real forward routing from. *)
+(** [reverse_traversal ~maqam circuit] starts from [initial] (default: the
+    identity layout) and performs [iterations] (default 1) forward+backward
+    passes, returning the layout to start the real forward routing from.
+
+    [initial] is what makes SABRE-style random-restart portfolios work: seed
+    each restart with a different random layout and let the traversal refine
+    it ({!Codar.Portfolio} wires this up). Raises [Invalid_argument] when
+    [initial]'s dimensions disagree with the circuit or device. *)
