@@ -428,6 +428,18 @@ let perf ?json () =
   let routed5 = Codar.Remapper.run ~maqam:grid33 ~initial:initial5 qft5 in
   let gates = Qc.Circuit.gate_array (Workloads.Builders.qft 10) in
   let issued = Array.make (Array.length gates) false in
+  let spec8 =
+    {
+      Service.Engine.source_name = "qft_8";
+      circuit = qft8;
+      maqam = tokyo;
+      router = `Codar;
+      placement = Placement.Reverse_traversal 1;
+      restarts = 2;
+      seed = 0;
+      collect_stats = false;
+    }
+  in
   let tests =
     [
       (* Fig. 8 inner loop: one CODAR routing pass *)
@@ -472,6 +484,20 @@ let perf ?json () =
              ignore
                (Arch.Coupling.make ~name:"s" ~n:54
                   (Arch.Coupling.edges Arch.Devices.sycamore_54))));
+      (* daemon economics: what a request costs cold (placement + route)
+         versus as a cache hit (fingerprint + LRU lookup) — the ratio is
+         the whole argument for running the compile service *)
+      Test.make ~name:"service/cold-route-qft8-tokyo"
+        (Staged.stage (fun () -> ignore (Service.Engine.route spec8)));
+      Test.make ~name:"service/cache-hit-qft8-tokyo"
+        (Staged.stage
+           (let cache = Cache.create ~max_entries:16 () in
+            let record, _ = Service.Engine.route spec8 in
+            Cache.add cache (Service.Engine.fingerprint spec8) record;
+            fun () ->
+              match Cache.find cache (Service.Engine.fingerprint spec8) with
+              | Some _ -> ()
+              | None -> assert false));
     ]
   in
   let cfg =

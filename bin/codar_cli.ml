@@ -2,12 +2,40 @@
 
 open Cmdliner
 
-let durations_of_string = function
-  | "sc" | "superconducting" -> Ok Arch.Durations.superconducting
-  | "ion" | "ion-trap" -> Ok Arch.Durations.ion_trap
-  | "atom" | "neutral-atom" -> Ok Arch.Durations.neutral_atom
-  | "uniform" -> Ok Arch.Durations.uniform
-  | s -> Error (`Msg (Fmt.str "unknown duration profile %S" s))
+(* Exit-code discipline (asserted by test/cli_exit_codes.sh): every failure
+   class gets its own code so scripts can tell a bad circuit from a bad
+   route from a bad socket without scraping stderr. Cmdliner keeps its own
+   124/125 for command-line errors. *)
+let exit_usage = 2 (* unknown benchmark, exclusive flags, empty batch *)
+let exit_parse = 3 (* QASM parse/lex errors *)
+let exit_route = 4 (* routing/placement/verification failures *)
+let exit_io = 5 (* file and socket errors *)
+
+let guard f =
+  try f () with
+  | Qasm.Parser.Parse_error (line, msg) ->
+    Fmt.epr "codar_cli: QASM parse error at line %d: %s@." line msg;
+    exit exit_parse
+  | Qasm.Lexer.Lex_error (line, msg) ->
+    Fmt.epr "codar_cli: QASM lex error at line %d: %s@." line msg;
+    exit exit_parse
+  | Invalid_argument msg ->
+    Fmt.epr "codar_cli: routing error: %s@." msg;
+    exit exit_route
+  | Sys_error msg ->
+    Fmt.epr "codar_cli: I/O error: %s@." msg;
+    exit exit_io
+  | Unix.Unix_error (e, fn, arg) ->
+    Fmt.epr "codar_cli: I/O error: %s: %s %s@." (Unix.error_message e) fn arg;
+    exit exit_io
+  | Failure msg ->
+    Fmt.epr "codar_cli: %s@." msg;
+    exit exit_usage
+
+let durations_of_string s =
+  match Service.Engine.durations_of_name s with
+  | Some d -> Ok d
+  | None -> Error (`Msg (Fmt.str "unknown duration profile %S" s))
 
 let arch_conv =
   let parse s =
@@ -32,59 +60,23 @@ let load_circuit input bench =
   | Some _, Some _ -> Fmt.failwith "--input and --bench are exclusive"
   | None, None -> Fmt.failwith "one of --input or --bench is required"
 
-let route ?stats router maqam initial circuit =
-  match router with
-  | `Codar -> Codar.Remapper.run ?stats ~maqam ~initial circuit
-  | `Sabre -> Sabre.Router.run ~maqam ~initial circuit
-  | `Astar -> Astar.Router.run ~maqam ~initial circuit
+let router_name = Service.Engine.router_name
 
-let router_name = function
-  | `Codar -> "codar"
-  | `Sabre -> "sabre"
-  | `Astar -> "astar"
-  | `Portfolio -> "portfolio"
-
-(* One timed routing job, producing the machine-readable record shared by
-   [map --json] and every [batch] line. [`Portfolio] routes its restarts
-   inside the job (the surrounding batch already owns the pool). *)
+(* One timed routing job: the shared driver in [Service.Engine] produces
+   the record used by [map --json], every [batch] line, and the daemon. *)
 let route_record ?(restarts = 8) ?(seed = 0) ~collect_stats ~source ~placement
-    router maqam initial circuit =
-  let stats =
-    match (collect_stats, router) with
-    | true, (`Codar | `Portfolio) -> Some (Codar.Stats.create ())
-    | _ -> None
-  in
-  let t0 = Unix.gettimeofday () in
-  let routed, portfolio =
-    match router with
-    | (`Codar | `Sabre | `Astar) as r ->
-      (route ?stats r maqam initial circuit, None)
-    | `Portfolio ->
-      let refine layout =
-        Sabre.Initial_mapping.reverse_traversal ~initial:layout ~maqam circuit
-      in
-      let o = Codar.Portfolio.run ~restarts ~seed ~refine ~maqam ~initial circuit in
-      (* portfolio restarts are uninstrumented (shared counters are not
-         domain-safe); re-route the winner alone to report its stats *)
-      (match stats with
-      | Some s ->
-        ignore
-          (Codar.Remapper.run ~stats:s ~maqam
-             ~initial:o.Codar.Portfolio.routed.Schedule.Routed.initial circuit)
-      | None -> ());
-      ( o.Codar.Portfolio.routed,
-        Some
-          {
-            Report.Record.restarts = Array.length o.Codar.Portfolio.scores;
-            winner = o.Codar.Portfolio.winner;
-            scores = o.Codar.Portfolio.scores;
-          } )
-  in
-  let wall_s = Unix.gettimeofday () -. t0 in
-  ( Report.Record.make ~source ~router:(router_name router)
-      ~placement:(Placement.name placement) ~wall_s ?stats ?portfolio ~maqam
-      ~original:circuit routed,
-    routed )
+    router maqam circuit =
+  Service.Engine.route
+    {
+      Service.Engine.source_name = source;
+      circuit;
+      maqam;
+      router;
+      placement;
+      restarts;
+      seed;
+      collect_stats;
+    }
 
 let map_cmd =
   let input =
@@ -163,6 +155,7 @@ let map_cmd =
   in
   let run input bench arch durations router output verify timeline compare_
       placement optimize gantt stats csv json restarts seed =
+   guard @@ fun () ->
     let source =
       match (input, bench) with
       | Some p, _ -> p
@@ -172,10 +165,9 @@ let map_cmd =
     let circuit = load_circuit input bench in
     let circuit = if optimize then Qc.Optimize.optimize circuit else circuit in
     let maqam = Arch.Maqam.make ~coupling:arch ~durations in
-    let initial = Placement.compute placement ~maqam circuit in
     let record, result =
       route_record ~restarts ~seed ~collect_stats:stats ~source ~placement
-        router maqam initial circuit
+        router maqam circuit
     in
     let router_stats = record.Report.Record.stats in
     Fmt.pr "device:        %s (%d qubits)@." (Arch.Coupling.name arch)
@@ -201,7 +193,8 @@ let map_cmd =
         | `Codar | `Portfolio -> `Sabre
         | `Sabre | `Astar -> `Codar
       in
-      let o = route other maqam initial circuit in
+      let initial = Placement.compute placement ~maqam circuit in
+      let o = Service.Engine.route_plain other maqam initial circuit in
       Fmt.pr "%s makespan: %d (ratio %.3f)@." (router_name other)
         o.Schedule.Routed.makespan
         (float_of_int o.Schedule.Routed.makespan
@@ -212,7 +205,7 @@ let map_cmd =
       | Ok () -> Fmt.pr "verify:        OK@."
       | Error e ->
         Fmt.pr "verify:        FAILED: %a@." Schedule.Verify.pp_error e;
-        exit 1
+        exit exit_route
     end;
     if timeline then Fmt.pr "%a@." Schedule.Routed.pp result;
     let n_physical = Arch.Coupling.n_qubits arch in
@@ -332,6 +325,7 @@ let batch_cmd =
   in
   let run inputs benches fitting arch durations router placement jobs restarts
       seed json stats verify =
+   guard @@ fun () ->
     let maqam = Arch.Maqam.make ~coupling:arch ~durations in
     (* load everything sequentially before the fan-out: QASM parsing and
        Lazy.force must not run concurrently *)
@@ -360,10 +354,9 @@ let batch_cmd =
       Pool.with_pool ~jobs (fun pool ->
           Pool.map pool
             (fun _ (source, circuit) ->
-              let initial = Placement.compute placement ~maqam circuit in
               let record, routed =
                 route_record ~restarts ~seed ~collect_stats:stats ~source
-                  ~placement router maqam initial circuit
+                  ~placement router maqam circuit
               in
               let verified =
                 if verify then
@@ -434,7 +427,7 @@ let batch_cmd =
       | [] -> if human then Fmt.pr "verify:        OK (%d circuits)@." (Array.length results)
       | l ->
         Fmt.epr "verify FAILED: %a@." Fmt.(list ~sep:comma string) l;
-        exit 1
+        exit exit_route
     end
   in
   Cmd.v
@@ -442,6 +435,231 @@ let batch_cmd =
        ~doc:"Route many circuits with a parallel, deterministic job pool.")
     Term.(const run $ inputs $ benches $ fitting $ arch $ durations $ router
           $ placement $ jobs $ restarts $ seed $ json $ stats $ verify)
+
+(* ---------------------------------------------------------------- service *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the daemon.")
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:"Worker domains routing requests (0 = all cores).")
+  in
+  let cache_entries =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-entries" ] ~doc:"Routing-cache entry cap.")
+  in
+  let cache_bytes =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cache-bytes" ]
+          ~doc:"Routing-cache byte cap (approximate; no cap by default).")
+  in
+  let cache_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-file" ]
+          ~doc:"Persist the cache here: loaded at startup when present, \
+                saved on shutdown and by `client cache-save`.")
+  in
+  let max_request =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-request-bytes" ]
+          ~doc:"Per-frame request size limit (default 8 MiB).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ]
+          ~doc:"Bound on queued-but-not-yet-routing jobs (back-pressure).")
+  in
+  let run socket jobs cache_entries cache_bytes cache_file max_request queue =
+    guard @@ fun () ->
+    let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
+    let cfg =
+      Service.Server.config ~jobs ~cache_entries ?cache_bytes ?cache_file
+        ?max_request_bytes:max_request ~queue_capacity:queue
+        ~socket_path:socket ()
+    in
+    let svc =
+      Service.Server.run
+        ~on_ready:(fun () ->
+          Fmt.pr "codar serve: listening on %s (%d job%s, cache %d entries)@."
+            socket jobs
+            (if jobs = 1 then "" else "s")
+            cache_entries)
+        cfg
+    in
+    Fmt.pr "codar serve: %a@." Codar.Stats.pp_service svc
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the routing daemon: a Unix-socket compile service with a \
+             content-addressed routing cache (docs/SERVICE.md).")
+    Term.(
+      const run $ socket_arg $ jobs $ cache_entries $ cache_bytes $ cache_file
+      $ max_request $ queue)
+
+let client_cmd =
+  let op =
+    Arg.(
+      value
+      & pos 0
+          (enum
+             [ ("ping", `Ping); ("route", `Route); ("stats", `Stats);
+               ("shutdown", `Shutdown); ("cache-info", `Cache_info);
+               ("cache-clear", `Cache_clear); ("cache-save", `Cache_save);
+               ("cache-load", `Cache_load); ("raw", `Raw) ])
+          `Ping
+      & info [] ~docv:"OP"
+          ~doc:"One of ping, route, stats, shutdown, cache-info, \
+                cache-clear, cache-save, cache-load, raw (forward JSON \
+                frames from stdin).")
+  in
+  let input =
+    Arg.(
+      value & opt (some file) None
+      & info [ "input"; "i" ]
+          ~doc:"OpenQASM file to route (sent inline to the daemon).")
+  in
+  let bench =
+    Arg.(
+      value & opt (some string) None
+      & info [ "bench"; "b" ] ~doc:"Built-in benchmark name to route.")
+  in
+  let arch =
+    Arg.(value & opt (some string) None & info [ "arch"; "a" ] ~doc:"Target device name.")
+  in
+  let durations =
+    Arg.(value & opt (some string) None & info [ "durations"; "d" ] ~doc:"Duration profile.")
+  in
+  let router =
+    Arg.(value & opt (some string) None & info [ "router"; "r" ] ~doc:"Routing algorithm.")
+  in
+  let placement =
+    Arg.(value & opt (some string) None & info [ "placement"; "p" ] ~doc:"Initial mapping strategy.")
+  in
+  let restarts =
+    Arg.(value & opt (some int) None & info [ "restarts" ] ~doc:"Portfolio restarts.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"Portfolio RNG seed.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Embed router instrumentation in the record.")
+  in
+  let file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "file" ] ~doc:"Cache file for cache-save / cache-load.")
+  in
+  (* exit code chosen from the reply so shell tests can assert failure
+     classes: route_failed -> 4, io -> 5, every other error -> 2 *)
+  let exit_of_reply line =
+    match Report.Json.parse line with
+    | Ok reply -> (
+      match Report.Json.(member "ok" reply) with
+      | Some (Report.Json.Bool true) -> 0
+      | _ -> (
+        match Report.Json.member "code" reply with
+        | Some (Report.Json.String "route_failed") -> exit_route
+        | Some (Report.Json.String "io") -> exit_io
+        | Some _ | None -> exit_usage))
+    | Error _ -> exit_io
+  in
+  let run socket op input bench arch durations router placement restarts seed
+      stats file =
+    guard @@ fun () ->
+    let opt_str key = Option.map (fun v -> (key, Report.Json.String v)) in
+    let opt_int key = Option.map (fun v -> (key, Report.Json.Int v)) in
+    let frame =
+      match op with
+      | `Ping -> Some (Report.Json.Obj [ ("op", Report.Json.String "ping") ])
+      | `Stats -> Some (Report.Json.Obj [ ("op", Report.Json.String "stats") ])
+      | `Shutdown ->
+        Some (Report.Json.Obj [ ("op", Report.Json.String "shutdown") ])
+      | `Cache_info | `Cache_clear | `Cache_save | `Cache_load ->
+        let action =
+          match op with
+          | `Cache_info -> "info"
+          | `Cache_clear -> "clear"
+          | `Cache_save -> "save"
+          | _ -> "load"
+        in
+        Some
+          (Report.Json.Obj
+             ([
+                ("op", Report.Json.String "cache");
+                ("action", Report.Json.String action);
+              ]
+             @ List.filter_map Fun.id [ opt_str "file" file ]))
+      | `Route ->
+        let source =
+          match (input, bench) with
+          | Some path, None ->
+            let ic = open_in_bin path in
+            let text =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            ("qasm", Report.Json.String text)
+          | None, Some b -> ("bench", Report.Json.String b)
+          | Some _, Some _ -> Fmt.failwith "--input and --bench are exclusive"
+          | None, None -> Fmt.failwith "one of --input or --bench is required"
+        in
+        Some
+          (Report.Json.Obj
+             ([ ("op", Report.Json.String "route"); source ]
+             @ List.filter_map Fun.id
+                 [
+                   opt_str "arch" arch;
+                   opt_str "durations" durations;
+                   opt_str "router" router;
+                   opt_str "placement" placement;
+                   opt_int "restarts" restarts;
+                   opt_int "seed" seed;
+                   (if stats then Some ("stats", Report.Json.Bool true)
+                    else None);
+                 ]))
+      | `Raw -> None
+    in
+    Service.Client.with_connection socket (fun t ->
+        match frame with
+        | Some frame ->
+          let reply =
+            Service.Client.request t
+              (Report.Json.to_string ~indent:0 frame)
+          in
+          print_endline reply;
+          let code = exit_of_reply reply in
+          if code <> 0 then exit code
+        | None ->
+          (* raw passthrough: frames from stdin, replies to stdout *)
+          let rec pump () =
+            match In_channel.input_line stdin with
+            | None -> ()
+            | Some line ->
+              print_endline (Service.Client.request t line);
+              pump ()
+          in
+          pump ())
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running `codar_cli serve` daemon.")
+    Term.(
+      const run $ socket_arg $ op $ input $ bench $ arch $ durations $ router
+      $ placement $ restarts $ seed $ stats $ file)
 
 let devices_cmd =
   let run () =
@@ -470,4 +688,10 @@ let benchmarks_cmd =
 let () =
   let info = Cmd.info "codar_cli" ~version:"1.0.0"
       ~doc:"Contextual duration-aware qubit mapping (CODAR, DAC 2020)." in
-  exit (Cmd.eval (Cmd.group info [ map_cmd; batch_cmd; devices_cmd; benchmarks_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            map_cmd; batch_cmd; serve_cmd; client_cmd; devices_cmd;
+            benchmarks_cmd;
+          ]))

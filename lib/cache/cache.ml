@@ -1,0 +1,233 @@
+(* Thread-safe LRU of routed results, keyed by request fingerprint.
+
+   One mutex guards the whole structure (hash table + intrusive recency
+   list + counters); operations are O(1) plus hashing. Sizes are accounted
+   as key length + compact-JSON length of the record — the same bytes a
+   persistence file or a service reply pays — so the byte cap tracks real
+   memory within a small constant. *)
+
+(* [cache.ml] is the library's entry module: re-export the fingerprint so
+   users see [Cache.Fingerprint]. *)
+module Fingerprint = Fingerprint
+
+type node = {
+  key : string;
+  record : Report.Record.t;
+  size : int;
+  mutable prev : node option; (* towards MRU *)
+  mutable next : node option; (* towards LRU *)
+}
+
+type t = {
+  max_entries : int;
+  max_bytes : int option;
+  table : (string, node) Hashtbl.t;
+  counters : Codar.Stats.cache;
+  m : Mutex.t;
+  mutable head : node option; (* MRU *)
+  mutable tail : node option; (* LRU *)
+  mutable bytes : int;
+}
+
+let entry_size key record =
+  String.length key
+  + String.length (Report.Json.to_string ~indent:0 (Report.Record.to_json record))
+
+let create ?max_bytes ~max_entries () =
+  if max_entries < 1 then
+    invalid_arg (Fmt.str "Cache.create: max_entries = %d < 1" max_entries);
+  (match max_bytes with
+  | Some b when b < 1 ->
+    invalid_arg (Fmt.str "Cache.create: max_bytes = %d < 1" b)
+  | Some _ | None -> ());
+  {
+    max_entries;
+    max_bytes;
+    table = Hashtbl.create 64;
+    counters = Codar.Stats.cache_create ();
+    m = Mutex.create ();
+    head = None;
+    tail = None;
+    bytes = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* list surgery — caller holds the lock *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let drop_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table n.key;
+    t.bytes <- t.bytes - n.size;
+    t.counters.Codar.Stats.evictions <- t.counters.Codar.Stats.evictions + 1
+
+let over_caps t =
+  Hashtbl.length t.table > t.max_entries
+  || match t.max_bytes with Some b -> t.bytes > b | None -> false
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None ->
+        t.counters.Codar.Stats.misses <- t.counters.Codar.Stats.misses + 1;
+        None
+      | Some n ->
+        t.counters.Codar.Stats.hits <- t.counters.Codar.Stats.hits + 1;
+        unlink t n;
+        push_front t n;
+        Some n.record)
+
+let add t key record =
+  let size = entry_size key record in
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some old ->
+        (* replace silently: same fingerprint, refreshed record *)
+        unlink t old;
+        Hashtbl.remove t.table key;
+        t.bytes <- t.bytes - old.size
+      | None -> ());
+      let n = { key; record; size; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      t.bytes <- t.bytes + size;
+      t.counters.Codar.Stats.insertions <-
+        t.counters.Codar.Stats.insertions + 1;
+      (* never evict the entry just inserted: a single record larger than
+         max_bytes still caches (alone) rather than thrashing *)
+      let tail_is_new () =
+        match t.tail with Some m -> m == n | None -> true
+      in
+      while over_caps t && not (tail_is_new ()) do
+        drop_lru t
+      done)
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+let bytes t = locked t (fun () -> t.bytes)
+let max_entries t = t.max_entries
+let max_bytes t = t.max_bytes
+
+let clear t =
+  locked t (fun () ->
+      t.counters.Codar.Stats.invalidations <-
+        t.counters.Codar.Stats.invalidations + Hashtbl.length t.table;
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None;
+      t.bytes <- 0)
+
+let counters t =
+  locked t (fun () ->
+      {
+        Codar.Stats.hits = t.counters.Codar.Stats.hits;
+        misses = t.counters.Codar.Stats.misses;
+        insertions = t.counters.Codar.Stats.insertions;
+        evictions = t.counters.Codar.Stats.evictions;
+        invalidations = t.counters.Codar.Stats.invalidations;
+      })
+
+(* ------------------------------------------------------------ persistence *)
+
+let schema = "codar-cache/1"
+
+let to_json t =
+  locked t (fun () ->
+      let entries = ref [] in
+      (* walk LRU → MRU so the serialised list is MRU-first after the fold *)
+      let rec go = function
+        | None -> ()
+        | Some n ->
+          entries :=
+            Report.Json.Obj
+              [
+                ("key", Report.Json.String n.key);
+                ("record", Report.Record.to_json n.record);
+              ]
+            :: !entries;
+          go n.prev
+      in
+      go t.tail;
+      (* the prepending walk ran LRU → MRU, so [!entries] is already
+         MRU-first — the order [of_json] expects *)
+      Report.Json.Obj
+        [
+          ("schema", Report.Json.String schema);
+          ("entries", Report.Json.List !entries);
+        ])
+
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      Report.Json.output oc (to_json t));
+  Sys.rename tmp path
+
+let ( let* ) = Result.bind
+
+let of_json ?max_bytes ~max_entries j =
+  let* () =
+    match Report.Json.(member "schema" j) with
+    | Some (Report.Json.String s) when s = schema -> Ok ()
+    | Some (Report.Json.String s) ->
+      Error (Fmt.str "unsupported cache schema %S (want %S)" s schema)
+    | Some _ | None -> Error "missing cache schema"
+  in
+  let* entries =
+    match Report.Json.member "entries" j with
+    | Some l -> (
+      match Report.Json.to_list_opt l with
+      | Some l -> Ok l
+      | None -> Error "cache entries is not a list")
+    | None -> Error "missing cache entries"
+  in
+  let t = create ?max_bytes ~max_entries () in
+  let* () =
+    (* entries are MRU-first on disk; insert LRU-first so recency — and
+       therefore future eviction order — survives the round-trip *)
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        let* key =
+          match Report.Json.member "key" e with
+          | Some (Report.Json.String k) -> Ok k
+          | Some _ | None -> Error "cache entry without a string key"
+        in
+        let* record =
+          match Report.Json.member "record" e with
+          | Some r -> Report.Record.of_json r
+          | None -> Error "cache entry without a record"
+        in
+        add t key record;
+        Ok ())
+      (Ok ()) (List.rev entries)
+  in
+  (* loading is not insertion traffic: counters start clean *)
+  Codar.Stats.cache_reset t.counters;
+  Ok t
+
+let load ?max_bytes ~max_entries path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text ->
+    let* j = Report.Json.parse text in
+    of_json ?max_bytes ~max_entries j

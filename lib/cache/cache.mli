@@ -1,0 +1,66 @@
+(** Content-addressed compilation cache: a thread-safe LRU from request
+    {!Fingerprint} to {!Report.Record.t}.
+
+    The value cached is the full machine-readable routing record — the
+    very bytes a service reply or a JSON report serialises — so a cache
+    hit reproduces the cold result {e byte-identically}. All operations
+    are O(1) behind one lock and safe to call from any thread or domain.
+    Hit/miss/insertion/eviction/invalidation counters are
+    {!Codar.Stats.cache} values, shared with the daemon's [stats] reply.
+
+    Capacity is bounded by an entry cap and an optional byte cap
+    (accounted as key + compact-JSON size per entry); the least recently
+    used entries are evicted first. An oversized single entry is kept
+    (alone) rather than thrashed. *)
+
+module Fingerprint : module type of Fingerprint
+(** Request fingerprinting — the cache key ([Cache.Fingerprint]). *)
+
+type t
+
+val create : ?max_bytes:int -> max_entries:int -> unit -> t
+(** Raises [Invalid_argument] when a cap is < 1. *)
+
+val find : t -> string -> Report.Record.t option
+(** Lookup by fingerprint; a hit refreshes recency. Counts one hit or
+    miss. *)
+
+val add : t -> string -> Report.Record.t -> unit
+(** Insert (or replace) as most-recent, then evict LRU entries until both
+    caps hold. Counts one insertion (plus any evictions). *)
+
+val length : t -> int
+val bytes : t -> int
+(** Current approximate footprint in bytes (the persistence-file size of
+    the entries, minus framing). *)
+
+val max_entries : t -> int
+val max_bytes : t -> int option
+
+val clear : t -> unit
+(** Drop everything; counts each dropped entry as an invalidation (not an
+    eviction). *)
+
+val counters : t -> Codar.Stats.cache
+(** A consistent snapshot (copy) of the counters. *)
+
+(** {2 Persistence}
+
+    One JSON file (schema ["codar-cache/1"]), entries MRU-first. Loading
+    restores both contents and recency order and starts with clean
+    counters; records re-serialise byte-identically
+    ({!Report.Record.of_json}). *)
+
+val to_json : t -> Report.Json.t
+
+val of_json :
+  ?max_bytes:int -> max_entries:int -> Report.Json.t -> (t, string) result
+
+val save : t -> string -> unit
+(** Write-to-temp-then-rename; raises [Sys_error] on I/O failure. *)
+
+val load :
+  ?max_bytes:int -> max_entries:int -> string -> (t, string) result
+(** Read + parse + {!of_json}; never raises on missing or malformed
+    files. Caps are the {e new} cache's caps — a file larger than them
+    loads truncated to the most recent entries. *)

@@ -1,0 +1,48 @@
+(** Stable content-addressed fingerprint of a routing request.
+
+    The cache key for lib/cache and the coalescing key for the daemon: two
+    requests share a fingerprint iff they parse to the same circuit and
+    target the same device, duration table and routing options. Hashing
+    runs over a canonical byte encoding of the {e parsed} request — never
+    the QASM text — so formatting, comment and whitespace differences
+    cannot fragment the cache, while angle floats are encoded by IEEE-754
+    bit pattern so no two distinct circuits collide by rounding. The
+    print → parse round-trip property in [test/test_cache.ml] pins this
+    canonicalisation. *)
+
+val fnv1a64 : string -> int64
+(** The 64-bit FNV-1a of a byte string (offset basis
+    [0xcbf29ce484222325], prime [0x100000001b3]) — exposed for the
+    test-vector suite. *)
+
+val to_hex : int64 -> string
+(** 16 lower-case hex digits, zero-padded. *)
+
+val canonical_bytes :
+  ?collect_stats:bool ->
+  circuit:Qc.Circuit.t ->
+  maqam:Arch.Maqam.t ->
+  router:string ->
+  placement:string ->
+  restarts:int ->
+  seed:int ->
+  unit ->
+  string
+(** The canonical encoding itself (versioned with a ["codar-fp/1"]
+    prefix), exposed so tests can assert injectivity properties on the
+    encoding rather than hoping 64 bits never collide in CI.
+    [collect_stats] (default [false]) is part of the identity because an
+    instrumented record serialises differently. *)
+
+val compute :
+  ?collect_stats:bool ->
+  circuit:Qc.Circuit.t ->
+  maqam:Arch.Maqam.t ->
+  router:string ->
+  placement:string ->
+  restarts:int ->
+  seed:int ->
+  unit ->
+  string
+(** [to_hex (fnv1a64 (canonical_bytes …))] — the 16-hex-digit request
+    fingerprint. *)

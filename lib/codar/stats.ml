@@ -47,3 +47,74 @@ let pp ppf s =
     (100. *. cf_hit_rate s)
     s.pair_resolutions s.heuristic_evals s.swap_candidates s.swaps_inserted
     s.forced_swaps s.gates_issued s.cycles
+
+(* --------------------------------------------- compilation-cache counters *)
+
+type cache = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let cache_create () =
+  { hits = 0; misses = 0; insertions = 0; evictions = 0; invalidations = 0 }
+
+let cache_reset c =
+  c.hits <- 0;
+  c.misses <- 0;
+  c.insertions <- 0;
+  c.evictions <- 0;
+  c.invalidations <- 0
+
+let cache_hit_rate c =
+  let total = c.hits + c.misses in
+  if total = 0 then 0. else float_of_int c.hits /. float_of_int total
+
+let pp_cache ppf c =
+  Fmt.pf ppf
+    "cache: %d hits, %d misses (%.1f%% hit rate); %d insertions; %d \
+     evictions; %d invalidations"
+    c.hits c.misses
+    (100. *. cache_hit_rate c)
+    c.insertions c.evictions c.invalidations
+
+(* ----------------------------------------------- routing-service counters *)
+
+type service = {
+  mutable requests : int;
+  mutable responses_ok : int;
+  mutable responses_err : int;
+  mutable routes_computed : int;
+  mutable coalesced : int;
+  mutable connections : int;
+  mutable disconnects : int;
+}
+
+let service_create () =
+  {
+    requests = 0;
+    responses_ok = 0;
+    responses_err = 0;
+    routes_computed = 0;
+    coalesced = 0;
+    connections = 0;
+    disconnects = 0;
+  }
+
+let service_reset s =
+  s.requests <- 0;
+  s.responses_ok <- 0;
+  s.responses_err <- 0;
+  s.routes_computed <- 0;
+  s.coalesced <- 0;
+  s.connections <- 0;
+  s.disconnects <- 0
+
+let pp_service ppf s =
+  Fmt.pf ppf
+    "service: %d requests (%d ok, %d err); %d routes computed, %d \
+     coalesced; %d connections, %d disconnects"
+    s.requests s.responses_ok s.responses_err s.routes_computed s.coalesced
+    s.connections s.disconnects

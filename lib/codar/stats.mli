@@ -30,3 +30,46 @@ val cf_hit_rate : t -> float
 (** Cache hits / front queries, in [0, 1]; [0.] before any query. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Compilation-cache counters}
+
+    Bumped by {!Cache.t} (lib/cache) under its own lock; the daemon's
+    [stats] reply and the cache tests read them. Living here keeps every
+    observable counter of the system under one roof. *)
+
+type cache = {
+  mutable hits : int;  (** lookups answered from the cache *)
+  mutable misses : int;  (** lookups that found nothing *)
+  mutable insertions : int;  (** entries stored (one per route computed) *)
+  mutable evictions : int;  (** entries dropped to respect a cap *)
+  mutable invalidations : int;  (** entries dropped by an explicit clear *)
+}
+
+val cache_create : unit -> cache
+val cache_reset : cache -> unit
+
+val cache_hit_rate : cache -> float
+(** Hits / lookups, in [0, 1]; [0.] before any lookup. *)
+
+val pp_cache : Format.formatter -> cache -> unit
+
+(** {2 Routing-service counters}
+
+    Bumped by {!Service.Server} under the server lock. [coalesced] is the
+    load-bearing one: a request that found an identical fingerprint already
+    in flight and waited for that computation instead of starting its own —
+    the duplicate-suppression guarantee is asserted through it. *)
+
+type service = {
+  mutable requests : int;  (** frames parsed into a request *)
+  mutable responses_ok : int;
+  mutable responses_err : int;
+  mutable routes_computed : int;  (** actual router invocations *)
+  mutable coalesced : int;  (** requests that piggybacked on an in-flight route *)
+  mutable connections : int;  (** clients accepted *)
+  mutable disconnects : int;  (** clients lost mid-conversation, survived *)
+}
+
+val service_create : unit -> service
+val service_reset : service -> unit
+val pp_service : Format.formatter -> service -> unit

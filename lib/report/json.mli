@@ -1,10 +1,11 @@
-(** A minimal JSON value and serialiser.
+(** A minimal JSON value, serialiser and parser.
 
-    The toolchain has no JSON dependency, and the machine-readable outputs
-    ([codar_cli map --json], [codar_cli batch], [bench perf --json]) only
-    {e emit} JSON — so this is the whole story: a value tree and a
-    serialiser producing RFC 8259-conformant text. There is deliberately no
-    parser. *)
+    The toolchain has no JSON dependency; this module is the whole story
+    for every machine-readable surface: emission ([codar_cli map --json],
+    [codar_cli batch], [bench perf --json]) and, since the service layer,
+    parsing (daemon request frames, cache persistence files). The emitter
+    produces RFC 8259-conformant text; the parser accepts exactly one
+    value per string. *)
 
 type t =
   | Null
@@ -24,3 +25,28 @@ val pp : Format.formatter -> t -> unit
 
 val output : out_channel -> t -> unit
 (** Serialise with a trailing newline. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Int i] and [Float f] compare equal when
+    [float_of_int i = f] (the parser cannot tell ["1"] emitted from
+    [Float 1.] apart from [Int 1]). Object field {e order} is significant —
+    the emitter is deterministic, so round-trips preserve it. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value ([Error] carries offset + message). Numbers
+    lex as [Int] when they are integral literals in range (no [.]/[e]),
+    else [Float]; BMP [\u] escapes decode to UTF-8. Raw control
+    characters inside strings are rejected, as is trailing garbage. *)
+
+(** {2 Accessors}
+
+    Small total helpers for decoding; [None] on shape mismatch.
+    [to_float_opt] accepts [Int] (JSON cannot distinguish [2.0] from
+    [2] once emitted). *)
+
+val member : string -> t -> t option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+val to_list_opt : t -> t list option
+val to_bool_opt : t -> bool option

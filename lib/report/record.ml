@@ -70,6 +70,109 @@ let portfolio_to_json (p : portfolio) =
       ("scores", Json.List (Array.to_list (Array.map (fun s -> Json.Int s) p.scores)));
     ]
 
+(* Decoders are written against the exact shapes the emitters above produce;
+   anything else is a malformed persistence file and yields [Error]. *)
+
+let ( let* ) = Result.bind
+
+let field j name decode =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+    match decode v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let stats_of_json j =
+  let* cf_recomputes = field j "cf_recomputes" Json.to_int_opt in
+  let* cf_cache_hits = field j "cf_cache_hits" Json.to_int_opt in
+  let* pair_resolutions = field j "pair_resolutions" Json.to_int_opt in
+  let* heuristic_evals = field j "heuristic_evals" Json.to_int_opt in
+  let* swap_candidates = field j "swap_candidates" Json.to_int_opt in
+  let* swaps_inserted = field j "swaps_inserted" Json.to_int_opt in
+  let* forced_swaps = field j "forced_swaps" Json.to_int_opt in
+  let* gates_issued = field j "gates_issued" Json.to_int_opt in
+  let* cycles = field j "cycles" Json.to_int_opt in
+  (* cf_hit_rate is derived and recomputed on demand, not stored *)
+  Ok
+    {
+      Codar.Stats.cf_recomputes;
+      cf_cache_hits;
+      pair_resolutions;
+      heuristic_evals;
+      swap_candidates;
+      swaps_inserted;
+      forced_swaps;
+      gates_issued;
+      cycles;
+    }
+
+let portfolio_of_json j =
+  let* restarts = field j "restarts" Json.to_int_opt in
+  let* winner = field j "winner" Json.to_int_opt in
+  let* scores = field j "scores" Json.to_list_opt in
+  let* scores =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        match Json.to_int_opt s with
+        | Some i -> Ok (i :: acc)
+        | None -> Error "portfolio score is not an integer")
+      (Ok []) scores
+  in
+  Ok { restarts; winner; scores = Array.of_list (List.rev scores) }
+
+let of_json j =
+  let* source = field j "source" Json.to_string_opt in
+  let* arch = field j "arch" Json.to_string_opt in
+  let* n_physical = field j "n_physical" Json.to_int_opt in
+  let* durations = field j "durations" Json.to_string_opt in
+  let* router = field j "router" Json.to_string_opt in
+  let* placement = field j "placement" Json.to_string_opt in
+  let* n_qubits = field j "n_qubits" Json.to_int_opt in
+  let* gates = field j "gates" Json.to_int_opt in
+  let* unrouted_weighted_depth =
+    field j "unrouted_weighted_depth" Json.to_int_opt
+  in
+  let* weighted_depth = field j "weighted_depth" Json.to_int_opt in
+  let* raw_depth = field j "raw_depth" Json.to_int_opt in
+  let* events = field j "events" Json.to_int_opt in
+  let* swaps = field j "swaps" Json.to_int_opt in
+  let* wall_s = field j "wall_s" Json.to_float_opt in
+  let* stats =
+    match Json.member "router_stats" j with
+    | None -> Ok None
+    | Some sj ->
+      let* s = stats_of_json sj in
+      Ok (Some s)
+  in
+  let* portfolio =
+    match Json.member "portfolio" j with
+    | None -> Ok None
+    | Some pj ->
+      let* p = portfolio_of_json pj in
+      Ok (Some p)
+  in
+  Ok
+    {
+      source;
+      arch;
+      n_physical;
+      durations;
+      router;
+      placement;
+      n_qubits;
+      gates;
+      unrouted_weighted_depth;
+      weighted_depth;
+      raw_depth;
+      events;
+      swaps;
+      wall_s;
+      stats;
+      portfolio;
+    }
+
 let to_json t =
   Json.Obj
     ([

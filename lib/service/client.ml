@@ -1,0 +1,33 @@
+(* Minimal blocking client for the daemon: connect, one request line out,
+   one reply line in. Used by `codar_cli client`, the smoke scripts and the
+   service tests. *)
+
+type t = { fd : Unix.file_descr; reader : Frame.reader }
+
+let connect ?max_reply_bytes path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; reader = Frame.reader ?max_bytes:max_reply_bytes fd }
+
+let send_line t line = Frame.write t.fd line
+
+let recv_line t =
+  match Frame.read t.reader with
+  | `Line l -> Some l
+  | `Eof -> None
+  | `Oversized -> failwith "Service.Client: reply exceeds the frame limit"
+
+let request t line =
+  send_line t line;
+  match recv_line t with
+  | Some reply -> reply
+  | None -> failwith "Service.Client: server closed the connection"
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection ?max_reply_bytes path f =
+  let t = connect ?max_reply_bytes path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,23 @@
+(** Blocking client for the routing daemon's socket. *)
+
+type t
+
+val connect : ?max_reply_bytes:int -> string -> t
+(** Connect to the daemon at this socket path. Raises [Unix.Unix_error]
+    ([ENOENT]/[ECONNREFUSED]) when no daemon is listening —
+    [codar_cli client] maps that to the I/O exit code.
+    [max_reply_bytes] bounds a single reply frame
+    ({!Frame.default_max_bytes} by default). *)
+
+val send_line : t -> string -> unit
+(** Send one already-serialised request frame (newline appended). *)
+
+val recv_line : t -> string option
+(** Next reply frame; [None] once the server closes the connection. *)
+
+val request : t -> string -> string
+(** [send_line] then [recv_line]; fails if the server hangs up first. *)
+
+val close : t -> unit
+
+val with_connection : ?max_reply_bytes:int -> string -> (t -> 'a) -> 'a

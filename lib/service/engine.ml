@@ -1,0 +1,176 @@
+(* Request resolution and the one timed routing job.
+
+   This used to live in bin/codar_cli.ml as [route_record]; it moved here
+   so the CLI's [map]/[batch] and the daemon route through the *same* code
+   path and their records can never drift apart. *)
+
+type spec = {
+  source_name : string;
+  circuit : Qc.Circuit.t;
+  maqam : Arch.Maqam.t;
+  router : [ `Codar | `Sabre | `Astar | `Portfolio ];
+  placement : Placement.strategy;
+  restarts : int;
+  seed : int;
+  collect_stats : bool;
+}
+
+let durations_of_name = function
+  | "sc" | "superconducting" -> Some Arch.Durations.superconducting
+  | "ion" | "ion-trap" -> Some Arch.Durations.ion_trap
+  | "atom" | "neutral-atom" -> Some Arch.Durations.neutral_atom
+  | "uniform" -> Some Arch.Durations.uniform
+  | _ -> None
+
+let router_of_name = function
+  | "codar" -> Some `Codar
+  | "sabre" -> Some `Sabre
+  | "astar" -> Some `Astar
+  | "portfolio" -> Some `Portfolio
+  | _ -> None
+
+let router_name = function
+  | `Codar -> "codar"
+  | `Sabre -> "sabre"
+  | `Astar -> "astar"
+  | `Portfolio -> "portfolio"
+
+(* Suite circuits are lazy; forcing is not safe under concurrent forcing
+   from several connection threads, so serialise it. *)
+let bench_mutex = Mutex.create ()
+
+let find_bench name =
+  Mutex.lock bench_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock bench_mutex)
+    (fun () ->
+      match Workloads.Suite.find name with
+      | Some e -> Some (Lazy.force e.Workloads.Suite.circuit)
+      | None -> None)
+
+let ( let* ) = Result.bind
+
+let spec_of_route_req (r : Protocol.route_req) =
+  let* source_name, circuit =
+    match r.Protocol.source with
+    | `Bench name -> (
+      match find_bench name with
+      | Some c -> Ok (name, c)
+      | None -> Error (Printf.sprintf "unknown benchmark %S" name))
+    | `Qasm text -> (
+      match Qasm.Parser.parse text with
+      | c -> Ok ("<inline>", c)
+      | exception Qasm.Parser.Parse_error (line, msg) ->
+        Error (Printf.sprintf "QASM parse error at line %d: %s" line msg)
+      | exception Qasm.Lexer.Lex_error (line, msg) ->
+        Error (Printf.sprintf "QASM lex error at line %d: %s" line msg))
+  in
+  let* coupling =
+    match Arch.Devices.by_name r.Protocol.arch with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "unknown architecture %S" r.Protocol.arch)
+  in
+  let* durations =
+    match durations_of_name r.Protocol.durations with
+    | Some d -> Ok d
+    | None ->
+      Error (Printf.sprintf "unknown duration profile %S" r.Protocol.durations)
+  in
+  let* router =
+    match router_of_name r.Protocol.router with
+    | Some r -> Ok r
+    | None -> Error (Printf.sprintf "unknown router %S" r.Protocol.router)
+  in
+  let* placement =
+    match Placement.of_name r.Protocol.placement with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (Printf.sprintf "unknown placement strategy %S" r.Protocol.placement)
+  in
+  let* () =
+    if r.Protocol.restarts < 1 then
+      Error
+        (Printf.sprintf "restarts must be positive (got %d)"
+           r.Protocol.restarts)
+    else Ok ()
+  in
+  let* () =
+    if Qc.Circuit.n_qubits circuit > Arch.Coupling.n_qubits coupling then
+      Error
+        (Printf.sprintf "circuit needs %d qubits but %s has only %d"
+           (Qc.Circuit.n_qubits circuit)
+           (Arch.Coupling.name coupling)
+           (Arch.Coupling.n_qubits coupling))
+    else Ok ()
+  in
+  Ok
+    {
+      source_name;
+      circuit;
+      maqam = Arch.Maqam.make ~coupling ~durations;
+      router;
+      placement;
+      restarts = r.Protocol.restarts;
+      seed = r.Protocol.seed;
+      collect_stats = r.Protocol.collect_stats;
+    }
+
+let fingerprint spec =
+  Cache.Fingerprint.compute ~collect_stats:spec.collect_stats
+    ~circuit:spec.circuit ~maqam:spec.maqam
+    ~router:(router_name spec.router)
+    ~placement:(Placement.name spec.placement)
+    ~restarts:spec.restarts ~seed:spec.seed ()
+
+let route_plain ?stats router maqam initial circuit =
+  match router with
+  | `Codar -> Codar.Remapper.run ?stats ~maqam ~initial circuit
+  | `Sabre -> Sabre.Router.run ~maqam ~initial circuit
+  | `Astar -> Astar.Router.run ~maqam ~initial circuit
+
+let route spec =
+  let { circuit; maqam; router; placement; restarts; seed; collect_stats; _ }
+      =
+    spec
+  in
+  let initial = Placement.compute placement ~maqam circuit in
+  let stats =
+    match (collect_stats, router) with
+    | true, (`Codar | `Portfolio) -> Some (Codar.Stats.create ())
+    | _ -> None
+  in
+  let t0 = Unix.gettimeofday () in
+  let routed, portfolio =
+    match router with
+    | (`Codar | `Sabre | `Astar) as r ->
+      (route_plain ?stats r maqam initial circuit, None)
+    | `Portfolio ->
+      let refine layout =
+        Sabre.Initial_mapping.reverse_traversal ~initial:layout ~maqam circuit
+      in
+      let o =
+        Codar.Portfolio.run ~restarts ~seed ~refine ~maqam ~initial circuit
+      in
+      (* portfolio restarts are uninstrumented (shared counters are not
+         domain-safe); re-route the winner alone to report its stats *)
+      (match stats with
+      | Some s ->
+        ignore
+          (Codar.Remapper.run ~stats:s ~maqam
+             ~initial:o.Codar.Portfolio.routed.Schedule.Routed.initial circuit)
+      | None -> ());
+      ( o.Codar.Portfolio.routed,
+        Some
+          {
+            Report.Record.restarts = Array.length o.Codar.Portfolio.scores;
+            winner = o.Codar.Portfolio.winner;
+            scores = o.Codar.Portfolio.scores;
+          } )
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  ( Report.Record.make ~source:spec.source_name
+      ~router:(router_name router)
+      ~placement:(Placement.name placement)
+      ~wall_s ?stats ?portfolio ~maqam ~original:circuit routed,
+    routed )

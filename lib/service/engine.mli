@@ -1,0 +1,52 @@
+(** Request resolution and the timed routing job behind both the daemon
+    and [codar_cli map]/[batch] — one code path, one record schema.
+
+    Resolution ({!spec_of_route_req}) and routing ({!route}) are
+    deterministic: equal requests produce equal records except for the
+    [wall_s] field, which is measured — the daemon therefore caches the
+    whole record and replays it rather than recomputing. *)
+
+type spec = {
+  source_name : string;
+      (** provenance only — deliberately {e not} part of {!fingerprint} *)
+  circuit : Qc.Circuit.t;
+  maqam : Arch.Maqam.t;
+  router : [ `Codar | `Sabre | `Astar | `Portfolio ];
+  placement : Placement.strategy;
+  restarts : int;
+  seed : int;
+  collect_stats : bool;
+}
+
+val durations_of_name : string -> Arch.Durations.t option
+(** ["sc"], ["superconducting"], ["ion"], ["ion-trap"], ["atom"],
+    ["neutral-atom"], ["uniform"]. *)
+
+val router_of_name :
+  string -> [ `Codar | `Sabre | `Astar | `Portfolio ] option
+
+val router_name : [ `Codar | `Sabre | `Astar | `Portfolio ] -> string
+
+val spec_of_route_req : Protocol.route_req -> (spec, string) result
+(** Resolve names to live structures, parse inline QASM (errors become
+    [Error], never exceptions), and validate that the circuit fits the
+    device. Benchmark circuits are forced under a lock — safe from
+    concurrent connection threads. *)
+
+val fingerprint : spec -> string
+(** {!Cache.Fingerprint.compute} over the resolved spec. *)
+
+val route : spec -> Report.Record.t * Schedule.Routed.t
+(** Compute the initial placement and route, timing the whole job into
+    the record's [wall_s]. May raise (router/placement internal errors);
+    the daemon converts that into a [route_failed] reply. *)
+
+val route_plain :
+  ?stats:Codar.Stats.t ->
+  [ `Codar | `Sabre | `Astar ] ->
+  Arch.Maqam.t ->
+  Arch.Layout.t ->
+  Qc.Circuit.t ->
+  Schedule.Routed.t
+(** One bare routing pass with a fixed initial layout (used by
+    [codar_cli map --compare]). *)

@@ -1,0 +1,22 @@
+(** Newline-delimited frame I/O over a raw [Unix] file descriptor —
+    the transport under {!Protocol}, shared by server and client. *)
+
+type reader
+
+val default_max_bytes : int
+(** 8 MiB — generous for inline-QASM requests, small enough that a
+    newline-less abuser cannot balloon the daemon. *)
+
+val reader : ?max_bytes:int -> Unix.file_descr -> reader
+(** Buffered line reader. The limit applies to a single frame and is
+    enforced while buffering, not after. *)
+
+val read : reader -> [ `Line of string | `Eof | `Oversized ]
+(** Next frame, without its newline. A non-empty unterminated trailer
+    before EOF is yielded as a final [`Line]. Connection-reset errors
+    read as [`Eof]; [`Oversized] poisons the reader (framing is lost —
+    the caller should answer and drop the connection). *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write [line + "\n"] fully. Raises [Unix.Unix_error] (e.g. [EPIPE])
+    when the peer is gone. *)

@@ -1,0 +1,487 @@
+(* The routing daemon: a Unix-domain-socket accept loop, one thread per
+   connection, and a single dispatcher thread that owns the Domain pool.
+
+   Concurrency layout — the part worth reading twice:
+
+   - Connection threads never route. They parse frames, consult the cache
+     and either answer immediately or park a [pending] job on a *bounded*
+     queue and sleep on [cond].
+   - The dispatcher thread is the only caller of [Pool.map] (the pool's
+     contract: driven from one place). It drains the queue in batches of
+     up to [jobs], routes them in parallel, publishes outcomes and
+     broadcasts.
+   - Duplicate fingerprints coalesce: a route request that finds its
+     fingerprint in [inflight] does not enqueue a second job — it waits on
+     the first's [pending] and is counted in [svc.coalesced]. Together
+     with the cache this gives the service guarantee: one computation per
+     distinct request content, ever, no matter how many clients race.
+   - One mutex [m] guards queue + inflight + counters + connection
+     registry; the cache has its own lock (always acquired after [m],
+     never the reverse, so the order is acyclic).
+
+   Degradation: malformed frames get an error reply; an oversized frame
+   gets an error reply and the connection dropped (framing is lost);
+   write failures to vanished clients are counted and survived; a router
+   exception becomes a [route_failed] reply. Nothing kills the daemon but
+   [shutdown] (which drains in-flight work, persists the cache when
+   configured, and removes the socket). *)
+
+module Json = Report.Json
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  cache_entries : int;
+  cache_bytes : int option;
+  cache_file : string option;
+  max_request_bytes : int;
+  queue_capacity : int;
+  backlog : int;
+  on_route_start : (string -> unit) option;
+}
+
+let config ?(jobs = 1) ?(cache_entries = 1024) ?cache_bytes ?cache_file
+    ?(max_request_bytes = Frame.default_max_bytes) ?(queue_capacity = 64)
+    ?(backlog = 64) ?on_route_start ~socket_path () =
+  if jobs < 1 then invalid_arg "Server.config: jobs < 1";
+  if queue_capacity < 1 then invalid_arg "Server.config: queue_capacity < 1";
+  {
+    socket_path;
+    jobs;
+    cache_entries;
+    cache_bytes;
+    cache_file;
+    max_request_bytes;
+    queue_capacity;
+    backlog;
+    on_route_start;
+  }
+
+type pending = {
+  fp : string;
+  spec : Engine.spec;
+  mutable outcome : (Report.Record.t, string) result option;
+}
+
+type state = {
+  cfg : config;
+  mutable cache : Cache.t;
+  svc : Codar.Stats.service;
+  m : Mutex.t;
+  cond : Condition.t;
+  jobq : pending Queue.t;
+  inflight : (string, pending) Hashtbl.t;
+  mutable stop : bool;
+  mutable conns : Unix.file_descr list;
+  mutable active : int;
+  listen_fd : Unix.file_descr;
+  pool : Pool.t;
+}
+
+let locked st f =
+  Mutex.lock st.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.m) f
+
+(* ------------------------------------------------------------ dispatcher *)
+
+let dispatch_batch st batch =
+  let results =
+    Pool.map st.pool
+      (fun _ p ->
+        (match st.cfg.on_route_start with
+        | Some hook -> hook p.fp
+        | None -> ());
+        try Ok (fst (Engine.route p.spec))
+        with e -> Error (Printexc.to_string e))
+      batch
+  in
+  locked st (fun () ->
+      Array.iteri
+        (fun i p ->
+          let r = results.(i) in
+          (match r with
+          | Ok record ->
+            Cache.add st.cache p.fp record;
+            st.svc.Codar.Stats.routes_computed <-
+              st.svc.Codar.Stats.routes_computed + 1
+          | Error _ ->
+            st.svc.Codar.Stats.routes_computed <-
+              st.svc.Codar.Stats.routes_computed + 1);
+          p.outcome <- Some r;
+          Hashtbl.remove st.inflight p.fp)
+        batch;
+      Condition.broadcast st.cond)
+
+let dispatcher st =
+  let rec loop () =
+    let batch =
+      locked st (fun () ->
+          while Queue.is_empty st.jobq && not st.stop do
+            Condition.wait st.cond st.m
+          done;
+          let n = min (Queue.length st.jobq) (Pool.jobs st.pool) in
+          let batch = Array.init n (fun _ -> Queue.pop st.jobq) in
+          if n > 0 then Condition.broadcast st.cond (* queue space freed *);
+          batch)
+    in
+    if Array.length batch > 0 then begin
+      dispatch_batch st batch;
+      loop ()
+    end
+    else if not st.stop then loop ()
+    (* stop && empty queue: drain complete *)
+  in
+  try loop ()
+  with e ->
+    (* Should not happen (tasks catch their own exceptions), but never
+       leave waiters hanging: fail everything outstanding. *)
+    let msg = "dispatcher crashed: " ^ Printexc.to_string e in
+    locked st (fun () ->
+        Hashtbl.iter
+          (fun _ p -> if p.outcome = None then p.outcome <- Some (Error msg))
+          st.inflight;
+        Hashtbl.reset st.inflight;
+        Queue.clear st.jobq;
+        st.stop <- true;
+        Condition.broadcast st.cond)
+
+(* ------------------------------------------------------------- requests *)
+
+let item_ok ~fingerprint record =
+  Json.Obj (("ok", Json.Bool true) :: Protocol.route_payload ~fingerprint record)
+
+let item_err code msg =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ("code", Json.String (Protocol.error_code_to_string code));
+      ("error", Json.String msg);
+    ]
+
+(* Resolve, look up, possibly enqueue, wait, and return one route result as
+   a JSON item (shared by [route] and each [batch] element). *)
+let route_item st (rr : Protocol.route_req) =
+  match Engine.spec_of_route_req rr with
+  | Error msg -> item_err Protocol.Bad_request msg
+  | Ok spec -> (
+    let fp = Engine.fingerprint spec in
+    let resolution =
+      locked st (fun () ->
+          match Cache.find st.cache fp with
+          | Some record -> `Hit record
+          | None ->
+            if st.stop then `Stopping
+            else begin
+              match Hashtbl.find_opt st.inflight fp with
+              | Some p ->
+                st.svc.Codar.Stats.coalesced <-
+                  st.svc.Codar.Stats.coalesced + 1;
+                `Wait p
+              | None ->
+                while
+                  Queue.length st.jobq >= st.cfg.queue_capacity
+                  && not st.stop
+                do
+                  Condition.wait st.cond st.m
+                done;
+                if st.stop then `Stopping
+                else begin
+                  let p = { fp; spec; outcome = None } in
+                  Hashtbl.add st.inflight fp p;
+                  Queue.add p st.jobq;
+                  Condition.broadcast st.cond;
+                  `Wait p
+                end
+            end)
+    in
+    match resolution with
+    | `Hit record -> item_ok ~fingerprint:fp record
+    | `Stopping -> item_err Protocol.Io "server is shutting down"
+    | `Wait p -> (
+      let outcome =
+        locked st (fun () ->
+            while p.outcome = None do
+              Condition.wait st.cond st.m
+            done;
+            Option.get p.outcome)
+      in
+      match outcome with
+      | Ok record -> item_ok ~fingerprint:fp record
+      | Error msg -> item_err Protocol.Route_failed msg))
+
+let cache_info_json st =
+  locked st (fun () ->
+      let c = st.cache in
+      Json.Obj
+        [
+          ("entries", Json.Int (Cache.length c));
+          ("bytes", Json.Int (Cache.bytes c));
+          ("max_entries", Json.Int (Cache.max_entries c));
+          ( "max_bytes",
+            match Cache.max_bytes c with
+            | Some b -> Json.Int b
+            | None -> Json.Null );
+          ("counters", Protocol.cache_counters_to_json (Cache.counters c));
+        ])
+
+let handle_cache st ?id action =
+  let path_or ~fallback = function
+    | Some p -> Ok p
+    | None -> (
+      match fallback with
+      | Some p -> Ok p
+      | None -> Error "no cache file given and none configured")
+  in
+  match action with
+  | Protocol.Info ->
+    `Reply
+      (Protocol.ok_frame ?id ~op:"cache"
+         [ ("action", Json.String "info"); ("cache", cache_info_json st) ])
+  | Protocol.Clear ->
+    Cache.clear (locked st (fun () -> st.cache));
+    `Reply
+      (Protocol.ok_frame ?id ~op:"cache" [ ("action", Json.String "clear") ])
+  | Protocol.Save file -> (
+    match path_or ~fallback:st.cfg.cache_file file with
+    | Error msg -> `Error (Protocol.Bad_request, msg)
+    | Ok path -> (
+      let cache = locked st (fun () -> st.cache) in
+      match Cache.save cache path with
+      | () ->
+        `Reply
+          (Protocol.ok_frame ?id ~op:"cache"
+             [
+               ("action", Json.String "save");
+               ("file", Json.String path);
+               ("entries", Json.Int (Cache.length cache));
+             ])
+      | exception Sys_error msg -> `Error (Protocol.Io, msg)))
+  | Protocol.Load file -> (
+    match path_or ~fallback:st.cfg.cache_file file with
+    | Error msg -> `Error (Protocol.Bad_request, msg)
+    | Ok path -> (
+      match
+        Cache.load ?max_bytes:st.cfg.cache_bytes
+          ~max_entries:st.cfg.cache_entries path
+      with
+      | Error msg -> `Error (Protocol.Io, msg)
+      | Ok cache ->
+        locked st (fun () -> st.cache <- cache);
+        `Reply
+          (Protocol.ok_frame ?id ~op:"cache"
+             [
+               ("action", Json.String "load");
+               ("file", Json.String path);
+               ("entries", Json.Int (Cache.length cache));
+             ])))
+
+let initiate_stop st =
+  locked st (fun () ->
+      if not st.stop then begin
+        st.stop <- true;
+        (* break the accept loop *)
+        (try Unix.shutdown st.listen_fd Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ());
+        (* break idle connection reads; pending writes still flush *)
+        List.iter
+          (fun fd ->
+            try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ())
+          st.conns;
+        Condition.broadcast st.cond
+      end)
+
+(* Returns the reply frame plus what to do with the connection next. *)
+let handle_request st ?id req =
+  match req with
+  | Protocol.Ping ->
+    (Protocol.ok_frame ?id ~op:"ping" [ ("reply", Json.String "pong") ], `Keep)
+  | Protocol.Stats ->
+    let svc, cache_counters =
+      locked st (fun () ->
+          ( Protocol.service_counters_to_json st.svc,
+            Protocol.cache_counters_to_json (Cache.counters st.cache) ))
+    in
+    ( Protocol.ok_frame ?id ~op:"stats"
+        [
+          ("service", svc);
+          ("cache", cache_counters);
+          ("jobs", Json.Int st.cfg.jobs);
+        ],
+      `Keep )
+  | Protocol.Route rr -> (
+    match route_item st rr with
+    | Json.Obj (("ok", Json.Bool true) :: payload) ->
+      (Protocol.ok_frame ?id ~op:"route" payload, `Keep)
+    | item ->
+      (* error item: lift into a top-level error frame *)
+      let code =
+        match Json.member "code" item with
+        | Some (Json.String c) -> (
+          match Protocol.error_code_of_string c with
+          | Some c -> c
+          | None -> Protocol.Route_failed)
+        | Some _ | None -> Protocol.Route_failed
+      in
+      let msg =
+        match Json.member "error" item with
+        | Some (Json.String m) -> m
+        | Some _ | None -> "route failed"
+      in
+      (Protocol.error_frame ?id code msg, `Keep))
+  | Protocol.Batch rrs ->
+    (* Resolution and waiting happen per item; items keep their order. A
+       batch bigger than the queue capacity still completes: the enqueue
+       loop blocks for space while the dispatcher drains. *)
+    let items = List.map (route_item st) rrs in
+    ( Protocol.ok_frame ?id ~op:"batch" [ ("results", Json.List items) ],
+      `Keep )
+  | Protocol.Cache action -> (
+    match handle_cache st ?id action with
+    | `Reply frame -> (frame, `Keep)
+    | `Error (code, msg) -> (Protocol.error_frame ?id code msg, `Keep))
+  | Protocol.Shutdown ->
+    (Protocol.ok_frame ?id ~op:"shutdown" [], `Shutdown)
+
+(* ----------------------------------------------------------- connections *)
+
+let count_reply st ok =
+  locked st (fun () ->
+      if ok then
+        st.svc.Codar.Stats.responses_ok <- st.svc.Codar.Stats.responses_ok + 1
+      else
+        st.svc.Codar.Stats.responses_err <-
+          st.svc.Codar.Stats.responses_err + 1)
+
+let handle_connection st fd =
+  let reader = Frame.reader ~max_bytes:st.cfg.max_request_bytes fd in
+  let send frame ~ok =
+    match Frame.write fd frame with
+    | () ->
+      count_reply st ok;
+      true
+    | exception Unix.Unix_error _ ->
+      locked st (fun () ->
+          st.svc.Codar.Stats.disconnects <- st.svc.Codar.Stats.disconnects + 1);
+      false
+  in
+  let rec loop () =
+    match Frame.read reader with
+    | `Eof -> ()
+    | `Oversized ->
+      ignore
+        (send ~ok:false
+           (Protocol.error_frame Protocol.Oversized
+              (Printf.sprintf "request exceeds %d bytes"
+                 st.cfg.max_request_bytes)))
+      (* framing is lost: drop the connection *)
+    | `Line "" -> loop () (* tolerate keep-alive blank lines *)
+    | `Line line -> (
+      match Protocol.parse_frame line with
+      | Error (id, code, msg) ->
+        if send ~ok:false (Protocol.error_frame ?id code msg) then loop ()
+      | Ok (id, req) ->
+        locked st (fun () ->
+            st.svc.Codar.Stats.requests <- st.svc.Codar.Stats.requests + 1);
+        let frame, next = handle_request st ?id req in
+        let alive = send ~ok:true frame in
+        (match next with `Shutdown -> initiate_stop st | `Keep -> ());
+        if alive && next = `Keep then loop ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      locked st (fun () ->
+          st.conns <- List.filter (fun c -> c <> fd) st.conns;
+          st.active <- st.active - 1;
+          Condition.broadcast st.cond))
+    (fun () -> try loop () with _ -> ())
+
+(* ------------------------------------------------------------------ run *)
+
+let run ?on_ready cfg =
+  (* a vanished client must be an EPIPE error, not a process kill *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ -> ());
+  let cache =
+    match cfg.cache_file with
+    | Some path when Sys.file_exists path -> (
+      match
+        Cache.load ?max_bytes:cfg.cache_bytes ~max_entries:cfg.cache_entries
+          path
+      with
+      | Ok c -> c
+      | Error msg ->
+        Printf.eprintf "codar serve: ignoring cache file %s: %s\n%!" path msg;
+        Cache.create ?max_bytes:cfg.cache_bytes ~max_entries:cfg.cache_entries
+          ())
+    | Some _ | None ->
+      Cache.create ?max_bytes:cfg.cache_bytes ~max_entries:cfg.cache_entries ()
+  in
+  (* a stale socket file from a dead daemon would make bind fail forever *)
+  (match (Unix.lstat cfg.socket_path).Unix.st_kind with
+  | Unix.S_SOCK -> Unix.unlink cfg.socket_path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd cfg.backlog
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let st =
+    {
+      cfg;
+      cache;
+      svc = Codar.Stats.service_create ();
+      m = Mutex.create ();
+      cond = Condition.create ();
+      jobq = Queue.create ();
+      inflight = Hashtbl.create 16;
+      stop = false;
+      conns = [];
+      active = 0;
+      listen_fd;
+      pool = Pool.create ~jobs:cfg.jobs;
+    }
+  in
+  let dispatcher_thread = Thread.create dispatcher st in
+  (match on_ready with Some f -> f () | None -> ());
+  let rec accept_loop () =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+      locked st (fun () ->
+          st.conns <- fd :: st.conns;
+          st.active <- st.active + 1;
+          st.svc.Codar.Stats.connections <-
+            st.svc.Codar.Stats.connections + 1);
+      ignore (Thread.create (handle_connection st) fd);
+      accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | exception Unix.Unix_error _ when locked st (fun () -> st.stop) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      (* unexpected accept failure: shut down rather than spin *)
+      Printf.eprintf "codar serve: accept failed: %s\n%!"
+        (Unix.error_message e);
+      initiate_stop st
+  in
+  accept_loop ();
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (* wait for every connection thread, then let the dispatcher drain *)
+  locked st (fun () ->
+      while st.active > 0 do
+        Condition.wait st.cond st.m
+      done;
+      Condition.broadcast st.cond);
+  Thread.join dispatcher_thread;
+  Pool.shutdown st.pool;
+  (match cfg.cache_file with
+  | Some path -> (
+    try Cache.save st.cache path
+    with Sys_error msg ->
+      Printf.eprintf "codar serve: could not save cache to %s: %s\n%!" path
+        msg)
+  | None -> ());
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  st.svc

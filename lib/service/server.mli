@@ -1,0 +1,60 @@
+(** The compile-as-a-service daemon: a Unix-domain-socket server that
+    routes {!Protocol} requests onto the existing {!Pool}, answering from
+    a content-addressed {!Cache} when it can.
+
+    Guarantees (asserted by test/test_service.ml and the service-smoke
+    rule):
+
+    - {b Byte-identical replay} — a cache hit replies with exactly the
+      bytes of the cold route reply for the same request content.
+    - {b Single computation} — concurrent requests with equal
+      fingerprints coalesce onto one in-flight routing job; the counters
+      ({!Codar.Stats.service}[.routes_computed], [.coalesced] and
+      {!Codar.Stats.cache}[.insertions]) prove it.
+    - {b Graceful degradation} — malformed frames, oversized frames,
+      unknown ops, router failures and clients that vanish mid-reply are
+      answered, dropped or counted; none of them kill the daemon.
+
+    Threading: one thread per connection, plus a single dispatcher thread
+    that owns the Domain pool and drains a bounded job queue in batches.
+    Connection threads block for queue space (back-pressure) rather than
+    growing an unbounded backlog. *)
+
+type config = private {
+  socket_path : string;
+  jobs : int;  (** Domain-pool width for routing *)
+  cache_entries : int;
+  cache_bytes : int option;
+  cache_file : string option;
+      (** loaded at startup when present; saved on shutdown and by the
+          [cache save] request *)
+  max_request_bytes : int;
+  queue_capacity : int;  (** bound on not-yet-dispatched routing jobs *)
+  backlog : int;
+  on_route_start : (string -> unit) option;
+      (** test hook, called with the fingerprint as each routing job
+          starts (possibly from a pool domain) *)
+}
+
+val config :
+  ?jobs:int ->
+  ?cache_entries:int ->
+  ?cache_bytes:int ->
+  ?cache_file:string ->
+  ?max_request_bytes:int ->
+  ?queue_capacity:int ->
+  ?backlog:int ->
+  ?on_route_start:(string -> unit) ->
+  socket_path:string ->
+  unit ->
+  config
+(** Defaults: 1 job, 1024 cache entries, no byte cap, no cache file,
+    {!Frame.default_max_bytes}, queue capacity 64, backlog 64. *)
+
+val run : ?on_ready:(unit -> unit) -> config -> Codar.Stats.service
+(** Bind (unlinking a stale socket file first), serve until a [shutdown]
+    request, then drain in-flight work, join every connection, persist
+    the cache when configured, unlink the socket and return the final
+    service counters. [on_ready] fires once the socket is listening
+    (tests start their clients from it). Raises [Unix.Unix_error] when
+    the socket cannot be bound. *)

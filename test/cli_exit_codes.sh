@@ -1,0 +1,50 @@
+#!/bin/sh
+# Pin the CLI's exit-code discipline (bin/codar_cli.ml `guard`): scripts
+# driving codar_cli must be able to tell failure classes apart without
+# scraping stderr.
+#
+#   2  usage errors (unknown benchmark, exclusive flags)
+#   3  QASM parse/lex errors
+#   4  routing/placement failures (circuit does not fit the device)
+#   5  I/O errors (unwritable output, no daemon on the socket)
+#
+# Usage: cli_exit_codes.sh path/to/codar_cli.exe
+set -u
+
+CLI=$1
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+expect() {
+  want=$1
+  label=$2
+  shift 2
+  "$@" > /dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $label exited $got, want $want" >&2
+    exit 1
+  fi
+}
+
+# 0: the happy path stays 0
+expect 0 "clean route" "$CLI" map -b qft_4
+
+printf 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\nbananas;\n' \
+  > "$DIR/bad.qasm"
+
+# 2: usage errors (the --input file must exist — cmdliner checks first)
+expect 2 "unknown benchmark" "$CLI" map -b no_such_bench
+expect 2 "exclusive --input/--bench" "$CLI" map -b qft_4 -i "$DIR/bad.qasm"
+
+# 3: QASM that does not parse
+expect 3 "QASM parse error" "$CLI" map -i "$DIR/bad.qasm"
+
+# 4: a circuit that cannot be placed on the device
+expect 4 "circuit too big for device" "$CLI" map -b qft_8 -a q5
+
+# 5: I/O failures
+expect 5 "unwritable output path" "$CLI" map -b qft_4 -o /nonexistent/dir/out.qasm
+expect 5 "no daemon on socket" "$CLI" client --socket /tmp/codar-no-daemon.sock ping
+
+echo "exit codes: OK"

@@ -1,0 +1,296 @@
+(* The content-addressed cache: fingerprint canonicalisation, LRU
+   mechanics, and persistence.
+
+   The property that matters most is the QCheck one: a circuit and its
+   print → parse image must fingerprint identically, because the daemon
+   hashes the *parsed* request — if formatting could shift the
+   fingerprint, equal workloads would fragment the cache and the
+   byte-identical-replay guarantee would silently turn into a recompute.
+   The converse (distinct options → distinct canonical bytes) is asserted
+   on the encoding, not the 64-bit hash, so CI never flakes on a true
+   hash collision. *)
+
+module Fp = Cache.Fingerprint
+
+let sc = Arch.Durations.superconducting
+let tokyo = Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo ~durations:sc
+
+let fp ?collect_stats ?(router = "codar") ?(placement = "sabre")
+    ?(restarts = 8) ?(seed = 0) ?(maqam = tokyo) circuit =
+  Fp.compute ?collect_stats ~circuit ~maqam ~router ~placement ~restarts
+    ~seed ()
+
+(* ----------------------------------------------------------- test vectors *)
+
+let test_fnv_vectors () =
+  (* published FNV-1a/64 vectors — pins basis and prime forever *)
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string)
+        (Fmt.str "fnv1a64 %S" input)
+        expected
+        (Fp.to_hex (Fp.fnv1a64 input)))
+    [
+      ("", "cbf29ce484222325");
+      ("a", "af63dc4c8601ec8c");
+      ("foobar", "85944171f73967e8");
+    ]
+
+let test_versioned_prefix () =
+  let b =
+    Fp.canonical_bytes ~circuit:(Qc.Circuit.make ~n_qubits:1 []) ~maqam:tokyo
+      ~router:"codar" ~placement:"sabre" ~restarts:8 ~seed:0 ()
+  in
+  Alcotest.(check bool)
+    "canonical bytes carry the codar-fp/1 version tag" true
+    (String.length b >= 10 && String.sub b 0 10 = "codar-fp/1")
+
+(* ------------------------------------------------------------ sensitivity *)
+
+let test_sensitivity () =
+  let c =
+    Qc.Circuit.make ~n_qubits:3
+      [ Qc.Gate.h 0; Qc.Gate.rz 0.25 1; Qc.Gate.cx 0 2 ]
+  in
+  let base = fp c in
+  let check name other =
+    Alcotest.(check bool) (name ^ " changes the fingerprint") true
+      (not (String.equal base other))
+  in
+  check "seed" (fp ~seed:1 c);
+  check "restarts" (fp ~restarts:9 c);
+  check "router" (fp ~router:"sabre" c);
+  check "placement" (fp ~placement:"trivial" c);
+  check "stats flag" (fp ~collect_stats:true c);
+  check "device"
+    (fp
+       ~maqam:
+         (Arch.Maqam.make ~coupling:Arch.Devices.ibm_q16_melbourne
+            ~durations:sc)
+       c);
+  check "durations"
+    (fp ~maqam:(Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo
+                  ~durations:Arch.Durations.uniform)
+       c);
+  (* a one-ULP angle nudge is a different circuit *)
+  let c' =
+    Qc.Circuit.make ~n_qubits:3
+      [
+        Qc.Gate.h 0;
+        Qc.Gate.rz (Float.succ 0.25) 1;
+        Qc.Gate.cx 0 2;
+      ]
+  in
+  check "angle ULP" (fp c')
+
+(* ------------------------------------------- canonicalisation property *)
+
+(* local circuit generator (each test binary is standalone) covering every
+   gate arity the printer emits: bare, one-angle, multi-angle, two-qubit *)
+let circuit_gen =
+  let open QCheck.Gen in
+  let* n = int_range 2 8 in
+  let q = int_range 0 (n - 1) in
+  let angle = float_range (-7.) 7. in
+  let gate =
+    let* a = q in
+    let* b = q in
+    let b = if a = b then (a + 1) mod n else b in
+    oneof
+      [
+        oneofl
+          [ Qc.Gate.h a; Qc.Gate.x a; Qc.Gate.t a; Qc.Gate.sdg a ];
+        map (fun th -> Qc.Gate.rz th a) angle;
+        map (fun th -> Qc.Gate.u3 th 0.1 (-.th) a) angle;
+        return (Qc.Gate.cx a b);
+        return (Qc.Gate.swap a b);
+        map (fun th -> Qc.Gate.rzz th a b) angle;
+      ]
+  in
+  let* gates = list_size (int_range 0 25) gate in
+  return (Qc.Circuit.make ~n_qubits:n gates)
+
+let prop_fingerprint_canonical =
+  QCheck.Test.make ~count:200
+    ~name:"print |> parse preserves the fingerprint"
+    (QCheck.make ~print:(Fmt.str "%a" Qc.Circuit.pp) circuit_gen)
+    (fun c ->
+      let c' = Qasm.Parser.parse (Qasm.Printer.to_string c) in
+      String.equal (fp c) (fp c'))
+
+let prop_distinct_circuits_distinct_bytes =
+  (* injectivity of the encoding for gate-list differences *)
+  QCheck.Test.make ~count:200
+    ~name:"distinct circuits give distinct canonical bytes"
+    (QCheck.make
+       ~print:(fun (a, b) -> Fmt.str "%a / %a" Qc.Circuit.pp a Qc.Circuit.pp b)
+       QCheck.Gen.(pair circuit_gen circuit_gen))
+    (fun (a, b) ->
+      let bytes c =
+        Fp.canonical_bytes ~circuit:c ~maqam:tokyo ~router:"codar"
+          ~placement:"sabre" ~restarts:8 ~seed:0 ()
+      in
+      QCheck.assume (not (Qc.Circuit.equal a b));
+      not (String.equal (bytes a) (bytes b)))
+
+(* ------------------------------------------------------------------- LRU *)
+
+let record bench =
+  let req =
+    {
+      Service.Protocol.source = `Bench bench;
+      arch = "tokyo";
+      durations = "sc";
+      router = "codar";
+      placement = "sabre";
+      restarts = 2;
+      seed = 0;
+      collect_stats = false;
+    }
+  in
+  match Service.Engine.spec_of_route_req req with
+  | Error msg -> Alcotest.failf "spec: %s" msg
+  | Ok spec -> fst (Service.Engine.route spec)
+
+let r_qft4 = lazy (record "qft_4")
+
+let counters_check t ~hits ~misses ~insertions ~evictions ~invalidations =
+  let c = Cache.counters t in
+  Alcotest.(check (list int))
+    "counters [hits;misses;ins;evict;inval]"
+    [ hits; misses; insertions; evictions; invalidations ]
+    [
+      c.Codar.Stats.hits; c.Codar.Stats.misses; c.Codar.Stats.insertions;
+      c.Codar.Stats.evictions; c.Codar.Stats.invalidations;
+    ]
+
+let test_lru_eviction_order () =
+  let r = Lazy.force r_qft4 in
+  let t = Cache.create ~max_entries:2 () in
+  Cache.add t "a" r;
+  Cache.add t "b" r;
+  (* touch "a": it becomes MRU, so "b" must be the eviction victim *)
+  Alcotest.(check bool) "hit a" true (Cache.find t "a" <> None);
+  Cache.add t "c" r;
+  Alcotest.(check int) "capped at 2" 2 (Cache.length t);
+  Alcotest.(check bool) "b evicted" true (Cache.find t "b" = None);
+  Alcotest.(check bool) "a kept" true (Cache.find t "a" <> None);
+  Alcotest.(check bool) "c kept" true (Cache.find t "c" <> None);
+  counters_check t ~hits:3 ~misses:1 ~insertions:3 ~evictions:1
+    ~invalidations:0
+
+let test_replace_same_key () =
+  let r = Lazy.force r_qft4 in
+  let t = Cache.create ~max_entries:4 () in
+  Cache.add t "k" r;
+  Cache.add t "k" r;
+  Alcotest.(check int) "replace keeps one entry" 1 (Cache.length t);
+  counters_check t ~hits:0 ~misses:0 ~insertions:2 ~evictions:0
+    ~invalidations:0
+
+let test_byte_cap_keeps_oversized () =
+  let r = Lazy.force r_qft4 in
+  (* a byte cap smaller than one entry must keep the newest entry alone
+     rather than thrash to empty *)
+  let t = Cache.create ~max_bytes:8 ~max_entries:10 () in
+  Cache.add t "big" r;
+  Alcotest.(check int) "oversized entry survives alone" 1 (Cache.length t);
+  Cache.add t "big2" r;
+  Alcotest.(check int) "next oversized entry replaces it" 1 (Cache.length t);
+  Alcotest.(check bool) "newest wins" true (Cache.find t "big2" <> None)
+
+let test_clear_counts_invalidations () =
+  let r = Lazy.force r_qft4 in
+  let t = Cache.create ~max_entries:8 () in
+  Cache.add t "a" r;
+  Cache.add t "b" r;
+  Cache.clear t;
+  Alcotest.(check int) "empty after clear" 0 (Cache.length t);
+  counters_check t ~hits:0 ~misses:0 ~insertions:2 ~evictions:0
+    ~invalidations:2
+
+(* ----------------------------------------------------------- persistence *)
+
+let test_persistence_round_trip () =
+  let r = Lazy.force r_qft4 in
+  let r8 = record "ghz_8" in
+  let t = Cache.create ~max_entries:8 () in
+  Cache.add t "one" r;
+  Cache.add t "two" r8;
+  ignore (Cache.find t "one");
+  (* "one" is now MRU *)
+  let path = Filename.temp_file "codar-cache" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Cache.save t path;
+      match Cache.load ~max_entries:8 path with
+      | Error msg -> Alcotest.failf "load: %s" msg
+      | Ok t' ->
+        Alcotest.(check int) "entries survive" 2 (Cache.length t');
+        counters_check t' ~hits:0 ~misses:0 ~insertions:0 ~evictions:0
+          ~invalidations:0;
+        (* byte-identical replay straight out of the loaded cache *)
+        let ser x =
+          Report.Json.to_string ~indent:0 (Report.Record.to_json x)
+        in
+        (match Cache.find t' "two" with
+        | None -> Alcotest.fail "entry \"two\" lost"
+        | Some got ->
+          Alcotest.(check string) "record bytes survive disk" (ser r8)
+            (ser got)));
+  (* recency survives: reload into a 1-entry cache and only the MRU fits *)
+  let path2 = Filename.temp_file "codar-cache" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path2 with Sys_error _ -> ())
+    (fun () ->
+      Cache.save t path2;
+      match Cache.load ~max_entries:1 path2 with
+      | Error msg -> Alcotest.failf "truncating load: %s" msg
+      | Ok small ->
+        Alcotest.(check int) "truncated to cap" 1 (Cache.length small);
+        Alcotest.(check bool)
+          "the MRU entry is the one kept" true
+          (Cache.find small "one" <> None))
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "codar-cache" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"schema\":\"wrong/9\",\"entries\":[]}";
+      close_out oc;
+      match Cache.load ~max_entries:4 path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "wrong schema must not load");
+  match Cache.load ~max_entries:4 "/nonexistent/cache.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must not load"
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "FNV-1a vectors" `Quick test_fnv_vectors;
+          Alcotest.test_case "versioned prefix" `Quick test_versioned_prefix;
+          Alcotest.test_case "option sensitivity" `Quick test_sensitivity;
+          QCheck_alcotest.to_alcotest prop_fingerprint_canonical;
+          QCheck_alcotest.to_alcotest prop_distinct_circuits_distinct_bytes;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "replace same key" `Quick test_replace_same_key;
+          Alcotest.test_case "oversized entry kept" `Quick
+            test_byte_cap_keeps_oversized;
+          Alcotest.test_case "clear invalidates" `Quick
+            test_clear_counts_invalidations;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "round trip" `Quick test_persistence_round_trip;
+          Alcotest.test_case "rejects garbage" `Quick test_load_rejects_garbage;
+        ] );
+    ]

@@ -1,0 +1,325 @@
+(* End-to-end suite for the compile daemon, run in-process: each test
+   boots a real [Service.Server] on a /tmp socket (Unix-domain paths are
+   length-limited, so never under _build), talks to it over real
+   connections, and joins it cleanly.
+
+   What is pinned here is the service contract from docs/SERVICE.md:
+   byte-identical replay on cache hits (including hits that arrive as
+   differently-formatted QASM text), exactly one computation under
+   concurrent duplicate requests (proved by the coalescing counters, made
+   deterministic with the [on_route_start] gate), graceful degradation on
+   malformed/oversized/vanishing clients, and cache persistence across
+   daemon restarts. *)
+
+module Json = Report.Json
+
+let temp_sock tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "codar-%s-%d.sock" tag (Unix.getpid ()))
+
+(* ---------------------------------------------------- server scaffolding *)
+
+type server = {
+  thread : Thread.t;
+  outcome : (Codar.Stats.service, exn) result option ref;
+}
+
+(* Boot [Server.run] on its own thread and block until the socket listens;
+   a bind failure releases the waiter too (by raising here). *)
+let start cfg =
+  let m = Mutex.create () and c = Condition.create () in
+  let ready = ref false in
+  let outcome = ref None in
+  let release () =
+    Mutex.lock m;
+    ready := true;
+    Condition.signal c;
+    Mutex.unlock m
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        (match Service.Server.run ~on_ready:release cfg with
+        | s -> outcome := Some (Ok s)
+        | exception e -> outcome := Some (Error e));
+        release ())
+      ()
+  in
+  Mutex.lock m;
+  while not !ready do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  (match !outcome with
+  | Some (Error e) ->
+    Thread.join thread;
+    raise e
+  | Some (Ok _) | None -> ());
+  { thread; outcome }
+
+let join server =
+  Thread.join server.thread;
+  match !(server.outcome) with
+  | Some (Ok s) -> s
+  | Some (Error e) -> raise e
+  | None -> Alcotest.fail "server thread finished without an outcome"
+
+let request sock frame =
+  Service.Client.with_connection sock (fun t -> Service.Client.request t frame)
+
+let shutdown_and_join sock server =
+  let reply = request sock {|{"op":"shutdown"}|} in
+  Alcotest.(check string) "shutdown acknowledged"
+    {|{"ok":true,"op":"shutdown"}|} reply;
+  join server
+
+let parse_reply line =
+  match Json.parse line with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unparseable reply %S: %s" line msg
+
+let reply_ok line =
+  match Json.member "ok" (parse_reply line) with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "reply without ok field: %S" line
+
+let reply_code line =
+  match Json.member "code" (parse_reply line) with
+  | Some (Json.String c) -> c
+  | _ -> Alcotest.failf "error reply without code: %S" line
+
+let counter path line =
+  let j = parse_reply line in
+  match
+    List.fold_left
+      (fun acc key -> Option.bind acc (Json.member key))
+      (Some j) path
+  with
+  | Some (Json.Int i) -> i
+  | _ -> Alcotest.failf "no %s counter in %S" (String.concat "." path) line
+
+let route_qft4 = {|{"op":"route","bench":"qft_4","restarts":2}|}
+
+(* --------------------------------------------------------------- replay *)
+
+let test_byte_identical_replay () =
+  let sock = temp_sock "replay" in
+  let server =
+    start (Service.Server.config ~jobs:2 ~socket_path:sock ())
+  in
+  let r1 = request sock route_qft4 in
+  Alcotest.(check bool) "cold route ok" true (reply_ok r1);
+  let r2 = request sock route_qft4 in
+  Alcotest.(check string) "cache hit replays byte-identically" r1 r2;
+  (* the same circuit as inline QASM text — different formatting, same
+     fingerprint, same bytes back (source stays the cold record's) *)
+  let qasm =
+    match Workloads.Suite.find "qft_4" with
+    | None -> Alcotest.fail "qft_4 missing from the suite"
+    | Some e ->
+      "// reformatted on purpose\n\n"
+      ^ Qasm.Printer.to_string (Lazy.force e.circuit)
+  in
+  let inline_req =
+    Json.to_string ~indent:0
+      (Json.Obj
+         [
+           ("op", Json.String "route");
+           ("qasm", Json.String qasm);
+           ("restarts", Json.Int 2);
+         ])
+  in
+  let r3 = request sock inline_req in
+  Alcotest.(check string) "inline QASM hits the same entry" r1 r3;
+  let stats = request sock {|{"op":"stats"}|} in
+  Alcotest.(check int) "one route computed" 1
+    (counter [ "service"; "routes_computed" ] stats);
+  Alcotest.(check int) "two cache hits" 2 (counter [ "cache"; "hits" ] stats);
+  (* a batch mixing a warm and a cold item keeps request order *)
+  let batch =
+    request sock
+      {|{"op":"batch","requests":[{"bench":"qft_4","restarts":2},{"bench":"ghz_8","restarts":2}]}|}
+  in
+  Alcotest.(check bool) "batch ok" true (reply_ok batch);
+  (match Json.member "results" (parse_reply batch) with
+  | Some (Json.List [ a; b ]) ->
+    let source item =
+      Option.bind (Json.member "record" item) (Json.member "source")
+    in
+    Alcotest.(check bool) "first result is the qft_4 record" true
+      (source a = Some (Json.String "qft_4"));
+    Alcotest.(check bool) "second result is the ghz_8 record" true
+      (source b = Some (Json.String "ghz_8"))
+  | _ -> Alcotest.failf "batch reply shape: %S" batch);
+  (* ids echo on both ok and error replies *)
+  let pinged = request sock {|{"op":"ping","id":42}|} in
+  Alcotest.(check string) "id echoes" {|{"ok":true,"op":"ping","id":42,"reply":"pong"}|}
+    pinged;
+  let bad = request sock {|{"op":"frobnicate","id":"x7"}|} in
+  Alcotest.(check bool) "unknown op rejected" false (reply_ok bad);
+  Alcotest.(check string) "unknown_op code" "unknown_op" (reply_code bad);
+  (match Json.member "id" (parse_reply bad) with
+  | Some (Json.String "x7") -> ()
+  | _ -> Alcotest.failf "error reply lost the id: %S" bad);
+  let svc = shutdown_and_join sock server in
+  (* qft_4 cold + the batch's ghz_8; everything else was a hit *)
+  Alcotest.(check int) "routes_computed in final counters" 2
+    svc.Codar.Stats.routes_computed
+
+(* ------------------------------------------------------------ coalescing *)
+
+let test_coalescing_single_computation () =
+  let sock = temp_sock "coalesce" in
+  let clients = 4 in
+  (* gate: routing blocks until the test has seen every duplicate request
+     registered, so "all but one coalesce" is deterministic, not a race *)
+  let gate_m = Mutex.create () and gate_c = Condition.create () in
+  let gate_open = ref false in
+  let started = ref 0 in
+  let on_route_start _fp =
+    Mutex.lock gate_m;
+    incr started;
+    while not !gate_open do
+      Condition.wait gate_c gate_m
+    done;
+    Mutex.unlock gate_m
+  in
+  let server =
+    start
+      (Service.Server.config ~jobs:1 ~on_route_start ~socket_path:sock ())
+  in
+  let replies = Array.make clients "" in
+  let threads =
+    Array.init clients (fun i ->
+        Thread.create (fun () -> replies.(i) <- request sock route_qft4) ())
+  in
+  (* stats requests bypass the routing queue, so we can poll the live
+     coalescing counter while the one routing job is held at the gate *)
+  let rec wait_coalesced () =
+    let stats = request sock {|{"op":"stats"}|} in
+    if counter [ "service"; "coalesced" ] stats < clients - 1 then begin
+      Thread.yield ();
+      wait_coalesced ()
+    end
+  in
+  wait_coalesced ();
+  Mutex.lock gate_m;
+  gate_open := true;
+  Condition.broadcast gate_c;
+  Mutex.unlock gate_m;
+  Array.iter Thread.join threads;
+  Array.iter
+    (fun r ->
+      Alcotest.(check string) "every duplicate got the same bytes"
+        replies.(0) r;
+      Alcotest.(check bool) "and it is an ok reply" true (reply_ok r))
+    replies;
+  let stats = request sock {|{"op":"stats"}|} in
+  Alcotest.(check int) "exactly one computation" 1
+    (counter [ "service"; "routes_computed" ] stats);
+  Alcotest.(check int) "exactly one insertion" 1
+    (counter [ "cache"; "insertions" ] stats);
+  Alcotest.(check int) "the rest coalesced" (clients - 1)
+    (counter [ "service"; "coalesced" ] stats);
+  let svc = shutdown_and_join sock server in
+  Alcotest.(check int) "route ran once" 1 !started;
+  Alcotest.(check int) "final coalesced counter" (clients - 1)
+    svc.Codar.Stats.coalesced
+
+(* -------------------------------------------------- graceful degradation *)
+
+let test_survives_hostile_clients () =
+  let sock = temp_sock "hostile" in
+  let server =
+    start
+      (Service.Server.config ~jobs:1 ~max_request_bytes:256
+         ~socket_path:sock ())
+  in
+  (* one connection, a parade of bad frames, then a good one: the
+     connection (and daemon) must survive everything answerable *)
+  Service.Client.with_connection sock (fun t ->
+      let req frame = Service.Client.request t frame in
+      Alcotest.(check string) "garbage is a parse error" "parse"
+        (reply_code (req "this is not json"));
+      Alcotest.(check string) "non-object frame" "bad_request"
+        (reply_code (req "[1,2,3]"));
+      Alcotest.(check string) "unknown key" "bad_request"
+        (reply_code (req {|{"op":"route","bench":"qft_4","bogus":1}|}));
+      Alcotest.(check string) "unknown bench" "bad_request"
+        (reply_code (req {|{"op":"route","bench":"no_such_bench"}|}));
+      Alcotest.(check string) "broken inline QASM" "bad_request"
+        (reply_code (req {|{"op":"route","qasm":"qreg nonsense["}|}));
+      Alcotest.(check string) "circuit too big for device" "bad_request"
+        (reply_code (req {|{"op":"route","bench":"qft_8","arch":"q5"}|}));
+      Alcotest.(check bool) "same connection still serves" true
+        (reply_ok (req {|{"op":"ping"}|})));
+  (* an oversized frame is answered, then the connection is dropped *)
+  let t = Service.Client.connect sock in
+  Service.Client.send_line t (String.make 1024 'x');
+  (match Service.Client.recv_line t with
+  | Some reply ->
+    Alcotest.(check string) "oversized code" "oversized" (reply_code reply)
+  | None -> Alcotest.fail "no reply to the oversized frame");
+  Alcotest.(check bool) "connection dropped after oversized frame" true
+    (Service.Client.recv_line t = None);
+  Service.Client.close t;
+  (* a client that vanishes mid-frame *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let partial = Bytes.of_string {|{"op":|} in
+  ignore (Unix.write fd partial 0 (Bytes.length partial));
+  Unix.close fd;
+  (* daemon still alive after all of it *)
+  Alcotest.(check bool) "daemon survives the parade" true
+    (reply_ok (request sock {|{"op":"ping"}|}));
+  ignore (shutdown_and_join sock server)
+
+(* ------------------------------------------------------------ persistence *)
+
+let test_cache_survives_restart () =
+  let sock = temp_sock "persist" in
+  let cache_file =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "codar-persist-%d.json" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove cache_file with Sys_error _ -> ())
+    (fun () ->
+      let cfg () =
+        Service.Server.config ~jobs:1 ~cache_file ~socket_path:sock ()
+      in
+      let server = start (cfg ()) in
+      let cold = request sock route_qft4 in
+      Alcotest.(check bool) "cold route ok" true (reply_ok cold);
+      ignore (shutdown_and_join sock server);
+      Alcotest.(check bool) "cache file written on shutdown" true
+        (Sys.file_exists cache_file);
+      (* a fresh daemon, same file: the first route must already hit *)
+      let server = start (cfg ()) in
+      let warm = request sock route_qft4 in
+      Alcotest.(check string)
+        "reply is byte-identical across daemon restarts" cold warm;
+      let stats = request sock {|{"op":"stats"}|} in
+      Alcotest.(check int) "no recomputation" 0
+        (counter [ "service"; "routes_computed" ] stats);
+      Alcotest.(check int) "served from the loaded cache" 1
+        (counter [ "cache"; "hits" ] stats);
+      ignore (shutdown_and_join sock server))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "daemon",
+        [
+          Alcotest.test_case "byte-identical replay" `Quick
+            test_byte_identical_replay;
+          Alcotest.test_case "coalescing" `Quick
+            test_coalescing_single_computation;
+          Alcotest.test_case "hostile clients" `Quick
+            test_survives_hostile_clients;
+          Alcotest.test_case "cache survives restart" `Quick
+            test_cache_survives_restart;
+        ] );
+    ]
