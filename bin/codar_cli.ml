@@ -661,6 +661,170 @@ let client_cmd =
       const run $ socket_arg $ op $ input $ bench $ arch $ durations $ router
       $ placement $ restarts $ seed $ stats $ file)
 
+let fuzz_cmd =
+  let cases =
+    Arg.(value & opt int 200
+         & info [ "cases"; "n" ] ~doc:"Number of generated cases.")
+  in
+  let seed =
+    Arg.(value & opt int 7
+         & info [ "seed" ]
+             ~doc:"Run seed. Case $(i,i) derives its own seed \
+                   deterministically, so one integer reproduces the run.")
+  in
+  let max_qubits =
+    Arg.(value & opt int 5
+         & info [ "max-qubits" ]
+             ~doc:"Upper bound on generated circuit width (each device's \
+                   own width also caps it).")
+  in
+  let archs =
+    Arg.(value & opt_all string []
+         & info [ "arch"; "a" ]
+             ~doc:"Device to rotate cases through (repeatable). Defaults \
+                   to q5, grid-2x3 and ring-8.")
+  in
+  let durations =
+    Arg.(value & opt string "superconducting"
+         & info [ "durations" ] ~doc:"Duration model name.")
+  in
+  let sim_max_qubits =
+    Arg.(value & opt int 10
+         & info [ "sim-max-qubits" ]
+             ~doc:"Largest device width the statevector oracle simulates.")
+  in
+  let shrink_budget =
+    Arg.(value & opt int 300
+         & info [ "shrink-budget" ]
+             ~doc:"Oracle evaluations the shrinker may spend per failure.")
+  in
+  let json =
+    Arg.(value & opt ~vopt:(Some "-") (some string) None
+         & info [ "json" ] ~docv:"PATH"
+             ~doc:"Write the run summary as JSON to $(docv) ('-' = stdout). \
+                   The summary is byte-identical across runs of the same \
+                   seed.")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Write shrunk counterexamples into $(docv) as replayable \
+                   .qasm files.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"DIR"
+             ~doc:"Replay every corpus entry under $(docv) through the \
+                   oracle stack instead of generating new cases.")
+  in
+  let run cases seed max_qubits archs durations sim_max_qubits shrink_budget
+      json corpus replay =
+    guard @@ fun () ->
+    match replay with
+    | Some dir ->
+      let entries = Fuzz.Corpus.load_dir dir in
+      let failed = ref 0 in
+      List.iter
+        (fun (path, (e : Fuzz.Corpus.entry)) ->
+          let report = Fuzz.Harness.replay ~sim_max_qubits e in
+          if Fuzz.Oracle.passed report then
+            Fmt.pr "ok   %s (%s on %s, %d checks)@." path e.oracle e.device
+              report.checks
+          else begin
+            incr failed;
+            Fmt.pr "FAIL %s@." path;
+            List.iter
+              (fun f -> Fmt.pr "     %a@." Fuzz.Oracle.pp_failure f)
+              report.failures
+          end)
+        entries;
+      Fmt.pr "replayed %d corpus entries, %d failing@." (List.length entries)
+        !failed;
+      if !failed > 0 then exit exit_route
+    | None ->
+      if Fuzz.Corpus.durations_of_name durations = None then
+        Fmt.failwith "unknown duration profile %S" durations;
+      let devices =
+        match archs with
+        | [] -> Fuzz.Harness.default_devices
+        | names ->
+          List.map
+            (fun n ->
+              match Arch.Devices.by_name n with
+              | Some c -> (String.lowercase_ascii n, c)
+              | None -> Fmt.failwith "unknown architecture %S" n)
+            names
+      in
+      let cfg =
+        {
+          Fuzz.Harness.cases;
+          seed;
+          max_qubits;
+          devices;
+          durations;
+          sim_max_qubits;
+          shrink_budget;
+          corpus_dir = corpus;
+        }
+      in
+      let result = Fuzz.Harness.run cfg in
+      (match json with
+      | Some "-" ->
+        print_endline
+          (Report.Json.to_string (Fuzz.Harness.summary_json result))
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc
+              (Report.Json.to_string (Fuzz.Harness.summary_json result));
+            output_char oc '\n')
+      | None -> ());
+      Fmt.epr "fuzz: %d cases seed=%d devices=%s durations=%s@." result.ran
+        seed
+        (String.concat "," (List.map fst devices))
+        durations;
+      Fmt.epr "fuzz: %d failures, %d oracle checks, statevector oracle on \
+               %d cases@."
+        (List.length result.failed)
+        result.checks result.sim_checked;
+      List.iter
+        (fun (f : Fuzz.Harness.case_failure) ->
+          Fmt.epr "@.FAIL case %d on %s (oracles: %s)@." f.index f.device
+            (String.concat "," f.oracles);
+          Fmt.epr "  %s@." f.detail;
+          Fmt.epr "  reproduce: codar_cli fuzz --seed %d --cases %d \
+                   --max-qubits %d (case seed %d)@."
+            seed result.ran max_qubits f.case_seed;
+          Option.iter (Fmt.epr "  corpus: %s@.") f.corpus_path;
+          Fmt.epr "  shrunk circuit:@.%s@."
+            (Qasm.Printer.to_string f.shrunk))
+        result.failed;
+      if result.failed <> [] then exit exit_route
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random circuits through every router \
+             and the oracle stack."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Generates seeded random circuits and routes each through \
+              CODAR, SABRE, the A* mapper and the reference remapper on a \
+              rotation of devices. Every result must pass schedule \
+              verification; small measure-free cases are additionally \
+              checked for exact statevector equivalence, CODAR is diffed \
+              against the reference implementation event-by-event, and the \
+              QASM printer/parser and cache fingerprint must round-trip. \
+              Failures are shrunk to minimal counterexamples and can be \
+              filed into a corpus directory for regression replay.";
+         ])
+    Term.(
+      const run $ cases $ seed $ max_qubits $ archs $ durations
+      $ sim_max_qubits $ shrink_budget $ json $ corpus $ replay)
+
 let devices_cmd =
   let run () =
     List.iter
@@ -692,6 +856,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            map_cmd; batch_cmd; serve_cmd; client_cmd; devices_cmd;
+            map_cmd; batch_cmd; serve_cmd; client_cmd; fuzz_cmd; devices_cmd;
             benchmarks_cmd;
           ]))

@@ -56,6 +56,10 @@ val name : t -> string
 val remap : (int -> int) -> t -> t
 (** [remap f g] renames every qubit operand through [f]. *)
 
+val params : t -> float list
+(** The gate's rotation angles in declaration order; [[]] for
+    non-parametrised gates (and for [Barrier]/[Measure]). *)
+
 val equal : t -> t -> bool
 
 val compare : t -> t -> int

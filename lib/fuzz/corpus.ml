@@ -1,0 +1,110 @@
+type entry = {
+  device : string;
+  durations : string;
+  seed : int;
+  oracle : string;
+  note : string;
+  circuit : Qc.Circuit.t;
+}
+
+let magic = "// codar-fuzz/1"
+
+let durations_of_name name =
+  match String.lowercase_ascii name with
+  | "sc" | "superconducting" -> Some Arch.Durations.superconducting
+  | "ion" | "ion-trap" -> Some Arch.Durations.ion_trap
+  | "atom" | "neutral-atom" -> Some Arch.Durations.neutral_atom
+  | "uniform" -> Some Arch.Durations.uniform
+  | _ -> None
+
+let to_string e =
+  let b = Buffer.create 512 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Fmt.str "// device=%s\n" e.device);
+  Buffer.add_string b (Fmt.str "// durations=%s\n" e.durations);
+  Buffer.add_string b (Fmt.str "// seed=%d\n" e.seed);
+  Buffer.add_string b (Fmt.str "// oracle=%s\n" e.oracle);
+  if e.note <> "" then Buffer.add_string b (Fmt.str "// note=%s\n" e.note);
+  Buffer.add_string b (Qasm.Printer.to_string e.circuit);
+  Buffer.contents b
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | first :: rest when String.trim first = magic ->
+    let kvs = Hashtbl.create 8 in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if String.length line > 3 && String.sub line 0 3 = "// " then
+          let payload = String.sub line 3 (String.length line - 3) in
+          match String.index_opt payload '=' with
+          | Some i ->
+            let key = String.sub payload 0 i in
+            let value =
+              String.sub payload (i + 1) (String.length payload - i - 1)
+            in
+            if not (Hashtbl.mem kvs key) then Hashtbl.replace kvs key value
+          | None -> ())
+      rest;
+    let find key =
+      match Hashtbl.find_opt kvs key with
+      | Some v -> Ok v
+      | None -> Error (Fmt.str "corpus entry: missing header key %S" key)
+    in
+    let ( let* ) = Result.bind in
+    let* device = find "device" in
+    let* durations = find "durations" in
+    let* seed_text = find "seed" in
+    let* oracle = find "oracle" in
+    let note = Option.value ~default:"" (Hashtbl.find_opt kvs "note") in
+    let* seed =
+      match int_of_string_opt seed_text with
+      | Some s -> Ok s
+      | None -> Error (Fmt.str "corpus entry: bad seed %S" seed_text)
+    in
+    let* circuit =
+      match Qasm.Parser.parse text with
+      | c -> Ok c
+      | exception Qasm.Parser.Parse_error (line, msg) ->
+        Error (Fmt.str "corpus entry: QASM parse error at line %d: %s" line msg)
+      | exception Qasm.Lexer.Lex_error (line, msg) ->
+        Error (Fmt.str "corpus entry: QASM lex error at line %d: %s" line msg)
+    in
+    Ok { device; durations; seed; oracle; note; circuit }
+  | _ -> Error "corpus entry: missing '// codar-fuzz/1' magic line"
+
+let file_name e = Fmt.str "%s-%s-seed%d.qasm" e.oracle e.device e.seed
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write ~dir e =
+  mkdir_p dir;
+  let path = Filename.concat dir (file_name e) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string e));
+  path
+
+let read path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".qasm")
+    |> List.sort String.compare
+    |> List.filter_map (fun f ->
+           let path = Filename.concat dir f in
+           match read path with
+           | Ok e -> Some (path, e)
+           | Error _ -> None)

@@ -1,0 +1,40 @@
+(** The on-disk regression corpus.
+
+    Each counterexample is one self-contained [.qasm] file: a
+    [// codar-fuzz/1] comment header carrying the device, the duration
+    model, the originating seed and the oracle verdict, followed by the
+    (shrunk) circuit in OpenQASM 2.0. Comments are stripped by the
+    lexer, so the whole file re-parses as a plain QASM program —
+    corpus entries can be fed straight back to [codar_cli map]. *)
+
+type entry = {
+  device : string;  (** an {!Arch.Devices.by_name} name, e.g. ["q5"] *)
+  durations : string;  (** a duration-model name, e.g. ["superconducting"] *)
+  seed : int;  (** the per-case seed that produced the circuit *)
+  oracle : string;  (** which oracle rejected it, e.g. ["verify"] *)
+  note : string;  (** free-form one-line context *)
+  circuit : Qc.Circuit.t;
+}
+
+val durations_of_name : string -> Arch.Durations.t option
+(** Resolve a duration-model name; accepts the preset names
+    (["superconducting"], ["ion-trap"], ["neutral-atom"], ["uniform"])
+    and the short aliases ["sc"], ["ion"] and ["atom"]. *)
+
+val to_string : entry -> string
+(** Render header + QASM body. *)
+
+val of_string : string -> (entry, string) result
+(** Parse a corpus file. Fails when the [// codar-fuzz/1] magic line,
+    a required key or the QASM body is missing or malformed. *)
+
+val write : dir:string -> entry -> string
+(** Persist under [dir] (created if necessary) as
+    [<oracle>-<device>-seed<seed>.qasm]; returns the path written. *)
+
+val read : string -> (entry, string) result
+
+val load_dir : string -> (string * entry) list
+(** All [*.qasm] entries under a directory, sorted by file name so the
+    replay order is stable. Unreadable or non-corpus files are skipped.
+    An absent directory yields []. *)

@@ -1,0 +1,147 @@
+type angles = Quadrant | Uniform | Mixed
+type measures = No_measure | Trailing
+
+type mix = { one_qubit : int; two_qubit : int; barrier : int }
+
+type config = {
+  n_qubits : int;
+  gates : int;
+  mix : mix;
+  angles : angles;
+  measures : measures;
+}
+
+let default_mix = { one_qubit = 5; two_qubit = 4; barrier = 1 }
+
+let config ?(mix = default_mix) ?(angles = Mixed) ?(measures = Trailing)
+    ~n_qubits ~gates () =
+  if n_qubits < 1 then invalid_arg "Gen.config: n_qubits < 1";
+  if gates < 0 then invalid_arg "Gen.config: gates < 0";
+  if mix.one_qubit < 0 || mix.two_qubit < 0 || mix.barrier < 0 then
+    invalid_arg "Gen.config: negative mix weight";
+  if mix.one_qubit + mix.two_qubit + mix.barrier = 0 then
+    invalid_arg "Gen.config: all mix weights zero";
+  { n_qubits; gates; mix; angles; measures }
+
+let quadrant_angles =
+  [|
+    0.;
+    Float.pi /. 4.;
+    Float.pi /. 2.;
+    3. *. Float.pi /. 4.;
+    Float.pi;
+    -.Float.pi /. 4.;
+    -.Float.pi /. 2.;
+    -3. *. Float.pi /. 4.;
+  |]
+
+let angle rng = function
+  | Quadrant -> quadrant_angles.(Random.State.int rng 8)
+  | Uniform -> Random.State.float rng (2. *. Float.pi) -. Float.pi
+  | Mixed ->
+    if Random.State.bool rng then quadrant_angles.(Random.State.int rng 8)
+    else Random.State.float rng (2. *. Float.pi) -. Float.pi
+
+let one_qubit_gate rng dist q =
+  match Random.State.int rng 15 with
+  | 0 -> Qc.Gate.i q
+  | 1 -> Qc.Gate.x q
+  | 2 -> Qc.Gate.y q
+  | 3 -> Qc.Gate.z q
+  | 4 -> Qc.Gate.h q
+  | 5 -> Qc.Gate.s q
+  | 6 -> Qc.Gate.sdg q
+  | 7 -> Qc.Gate.t q
+  | 8 -> Qc.Gate.tdg q
+  | 9 -> Qc.Gate.rx (angle rng dist) q
+  | 10 -> Qc.Gate.ry (angle rng dist) q
+  | 11 -> Qc.Gate.rz (angle rng dist) q
+  | 12 -> Qc.Gate.u1 (angle rng dist) q
+  | 13 -> Qc.Gate.u2 (angle rng dist) (angle rng dist) q
+  | _ -> Qc.Gate.u3 (angle rng dist) (angle rng dist) (angle rng dist) q
+
+let two_qubit_gate rng dist q1 q2 =
+  match Random.State.int rng 5 with
+  | 0 -> Qc.Gate.cx q1 q2
+  | 1 -> Qc.Gate.cz q1 q2
+  | 2 -> Qc.Gate.swap q1 q2
+  | 3 -> Qc.Gate.xx (angle rng dist) q1 q2
+  | _ -> Qc.Gate.rzz (angle rng dist) q1 q2
+
+(* A non-empty, sorted, duplicate-free qubit subset for a barrier. *)
+let barrier_gate rng n =
+  let qs =
+    List.filter (fun _ -> Random.State.int rng 2 = 0) (List.init n Fun.id)
+  in
+  match qs with [] -> Qc.Gate.barrier [ Random.State.int rng n ] | qs ->
+    Qc.Gate.barrier qs
+
+let distinct_pair rng n =
+  let q1 = Random.State.int rng n in
+  let q2' = Random.State.int rng (n - 1) in
+  let q2 = if q2' >= q1 then q2' + 1 else q2' in
+  (q1, q2)
+
+let circuit_rng rng (cfg : config) =
+  let two_qubit_weight = if cfg.n_qubits >= 2 then cfg.mix.two_qubit else 0 in
+  let total = cfg.mix.one_qubit + two_qubit_weight + cfg.mix.barrier in
+  let total = if total = 0 then 1 else total in
+  let body =
+    List.init cfg.gates (fun _ ->
+        let k = Random.State.int rng total in
+        if k < cfg.mix.one_qubit || cfg.n_qubits < 2 then
+          one_qubit_gate rng cfg.angles (Random.State.int rng cfg.n_qubits)
+        else if k < cfg.mix.one_qubit + two_qubit_weight then
+          let q1, q2 = distinct_pair rng cfg.n_qubits in
+          two_qubit_gate rng cfg.angles q1 q2
+        else barrier_gate rng cfg.n_qubits)
+  in
+  let tail =
+    match cfg.measures with
+    | No_measure -> []
+    | Trailing ->
+      (* measure a random permuted prefix of the qubits, one clbit each *)
+      let perm = Array.init cfg.n_qubits Fun.id in
+      for i = cfg.n_qubits - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      let k = 1 + Random.State.int rng cfg.n_qubits in
+      List.init k (fun i -> Qc.Gate.measure perm.(i) i)
+  in
+  Qc.Circuit.make ~n_qubits:cfg.n_qubits (body @ tail)
+
+let circuit ~seed cfg = circuit_rng (Random.State.make [| seed |]) cfg
+
+let sample_config rng ~max_qubits =
+  let hi = max max_qubits 2 in
+  let n_qubits = 2 + Random.State.int rng (hi - 1) in
+  let gates = 1 + Random.State.int rng 40 in
+  let mix =
+    match Random.State.int rng 4 with
+    | 0 -> default_mix
+    | 1 -> { one_qubit = 1; two_qubit = 8; barrier = 1 } (* routing-heavy *)
+    | 2 -> { one_qubit = 8; two_qubit = 2; barrier = 0 } (* mostly local *)
+    | _ -> { one_qubit = 4; two_qubit = 4; barrier = 2 } (* fence-heavy *)
+  in
+  let angles =
+    match Random.State.int rng 3 with
+    | 0 -> Quadrant
+    | 1 -> Uniform
+    | _ -> Mixed
+  in
+  let measures = if Random.State.int rng 3 = 0 then Trailing else No_measure in
+  { n_qubits; gates; mix; angles; measures }
+
+(* SplitMix64 finalizer: adjacent (seed, index) pairs land far apart. *)
+let case_seed ~run_seed ~index =
+  let open Int64 in
+  let z =
+    add (of_int run_seed) (mul (of_int (index + 1)) 0x9E3779B97F4A7C15L)
+  in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (logand z 0x3FFFFFFFFFFFFFFFL)

@@ -1,0 +1,68 @@
+(** Seeded random-circuit generator — the input half of the differential
+    fuzzing harness.
+
+    Generation is a pure function of the seed and the configuration: the
+    same [(seed, config)] pair always yields the same circuit, so every
+    failure the harness reports is reproducible from two integers. The
+    knobs mirror what the routing stack is sensitive to: width, gate
+    count, the one-/two-qubit/barrier mix, the angle distribution
+    (quadrant angles exercise the structural commutation rules, raw
+    uniform floats exercise exact printing and fingerprinting) and
+    measurement placement. *)
+
+type angles =
+  | Quadrant  (** multiples of π/4 — hits the Z/X structural fast paths *)
+  | Uniform  (** uniform in [-π, π) — full-precision doubles *)
+  | Mixed  (** each parametrised gate picks one of the two, 50/50 *)
+
+type measures =
+  | No_measure  (** purely unitary circuit (statevector-oracle friendly) *)
+  | Trailing
+      (** measure a random non-empty subset of qubits at the end, into
+          distinct classical bits *)
+
+type mix = {
+  one_qubit : int;
+  two_qubit : int;
+  barrier : int;
+}
+(** Relative weights of the gate classes; all non-negative, at least one
+    positive. *)
+
+type config = {
+  n_qubits : int;
+  gates : int;  (** body gates, excluding trailing measurements *)
+  mix : mix;
+  angles : angles;
+  measures : measures;
+}
+
+val default_mix : mix
+(** [{ one_qubit = 5; two_qubit = 4; barrier = 1 }]. *)
+
+val config :
+  ?mix:mix ->
+  ?angles:angles ->
+  ?measures:measures ->
+  n_qubits:int ->
+  gates:int ->
+  unit ->
+  config
+(** Raises [Invalid_argument] on non-positive width, negative gate count
+    or an all-zero mix. *)
+
+val circuit_rng : Random.State.t -> config -> Qc.Circuit.t
+(** Draw one circuit. Two-qubit gates are only emitted when
+    [n_qubits >= 2]; barriers are always non-empty. *)
+
+val circuit : seed:int -> config -> Qc.Circuit.t
+(** [circuit_rng] on a fresh state seeded with [seed]. *)
+
+val sample_config : Random.State.t -> max_qubits:int -> config
+(** Draw a configuration for one fuzz case: width in
+    [2 .. max max_qubits 2], 1–40 gates, and uniformly chosen mix, angle
+    and measurement settings. *)
+
+val case_seed : run_seed:int -> index:int -> int
+(** SplitMix64-style mixing of a run seed and case index into a
+    decorrelated per-case seed (non-negative). *)

@@ -1,0 +1,191 @@
+type config = {
+  cases : int;
+  seed : int;
+  max_qubits : int;
+  devices : (string * Arch.Coupling.t) list;
+  durations : string;
+  sim_max_qubits : int;
+  shrink_budget : int;
+  corpus_dir : string option;
+}
+
+let default_devices =
+  [
+    ("q5", Arch.Devices.ibm_q5);
+    ("grid-2x3", Arch.Devices.grid ~rows:2 ~cols:3);
+    ("ring-8", Arch.Devices.ring 8);
+  ]
+
+let default_config =
+  {
+    cases = 200;
+    seed = 7;
+    max_qubits = 5;
+    devices = default_devices;
+    durations = "superconducting";
+    sim_max_qubits = 10;
+    shrink_budget = 300;
+    corpus_dir = None;
+  }
+
+type case_failure = {
+  index : int;
+  case_seed : int;
+  device : string;
+  oracles : string list;
+  detail : string;
+  shrunk : Qc.Circuit.t;
+  corpus_path : string option;
+}
+
+type result = {
+  config : config;
+  ran : int;
+  failed : case_failure list;
+  checks : int;
+  sim_checked : int;
+}
+
+let ok r = r.failed = []
+
+let resolve_durations name =
+  match Corpus.durations_of_name name with
+  | Some d -> d
+  | None -> invalid_arg (Fmt.str "Fuzz.Harness: unknown durations %S" name)
+
+let oracle_names failures =
+  List.sort_uniq String.compare
+    (List.map (fun (f : Oracle.failure) -> f.oracle) failures)
+
+(* Shrink against "the same set of oracle names still fails": stricter
+   predicates (same detail string) are brittle because messages embed
+   qubit numbers that legitimately change while shrinking. *)
+let shrink_failure ~budget ~maqam ~sim_max_qubits ~oracles circuit =
+  let still_fails c =
+    let report = Oracle.check ~sim_max_qubits ~maqam c in
+    let now = oracle_names report.Oracle.failures in
+    List.for_all (fun o -> List.mem o now) oracles
+  in
+  Shrink.shrink ~max_checks:budget ~still_fails circuit
+
+let run_case cfg ~durations ~index =
+  let n_devices = List.length cfg.devices in
+  let device_name, coupling = List.nth cfg.devices (index mod n_devices) in
+  let maqam = Arch.Maqam.make ~coupling ~durations in
+  let width = Arch.Maqam.n_qubits maqam in
+  let case_seed = Gen.case_seed ~run_seed:cfg.seed ~index in
+  let rng = Random.State.make [| case_seed |] in
+  let gen_cfg = Gen.sample_config rng ~max_qubits:(min cfg.max_qubits width) in
+  let circuit = Gen.circuit_rng rng gen_cfg in
+  let report = Oracle.check ~sim_max_qubits:cfg.sim_max_qubits ~maqam circuit in
+  let failure =
+    if Oracle.passed report then None
+    else begin
+      let oracles = oracle_names report.failures in
+      let shrunk =
+        shrink_failure ~budget:cfg.shrink_budget ~maqam
+          ~sim_max_qubits:cfg.sim_max_qubits ~oracles circuit
+      in
+      let detail =
+        match report.failures with
+        | f :: _ -> Fmt.str "%a" Oracle.pp_failure f
+        | [] -> ""
+      in
+      let corpus_path =
+        Option.map
+          (fun dir ->
+            Corpus.write ~dir
+              {
+                Corpus.device = device_name;
+                durations = cfg.durations;
+                seed = case_seed;
+                oracle = String.concat "+" oracles;
+                note = detail;
+                circuit = shrunk;
+              })
+          cfg.corpus_dir
+      in
+      Some
+        {
+          index;
+          case_seed;
+          device = device_name;
+          oracles;
+          detail;
+          shrunk;
+          corpus_path;
+        }
+    end
+  in
+  (report, failure)
+
+let run ?(progress = fun _ -> ()) cfg =
+  if cfg.devices = [] then invalid_arg "Fuzz.Harness: empty device list";
+  if cfg.cases < 0 then invalid_arg "Fuzz.Harness: negative case count";
+  let durations = resolve_durations cfg.durations in
+  let failed = ref [] in
+  let checks = ref 0 in
+  let sim_checked = ref 0 in
+  for index = 0 to cfg.cases - 1 do
+    let report, failure = run_case cfg ~durations ~index in
+    checks := !checks + report.Oracle.checks;
+    if report.sim_checked then incr sim_checked;
+    Option.iter (fun f -> failed := f :: !failed) failure;
+    progress index
+  done;
+  {
+    config = cfg;
+    ran = cfg.cases;
+    failed = List.rev !failed;
+    checks = !checks;
+    sim_checked = !sim_checked;
+  }
+
+let replay ~sim_max_qubits (entry : Corpus.entry) =
+  let coupling =
+    match Arch.Devices.by_name entry.device with
+    | Some c -> c
+    | None ->
+      invalid_arg (Fmt.str "Fuzz.Harness: unknown device %S" entry.device)
+  in
+  let durations = resolve_durations entry.durations in
+  let maqam = Arch.Maqam.make ~coupling ~durations in
+  Oracle.check ~sim_max_qubits ~maqam entry.circuit
+
+let summary_json (r : result) =
+  let open Report.Json in
+  let failure_json (f : case_failure) =
+    Obj
+      [
+        ("index", Int f.index);
+        ("case_seed", Int f.case_seed);
+        ("device", String f.device);
+        ("oracles", List (List.map (fun o -> String o) f.oracles));
+        ("detail", String f.detail);
+        ("shrunk_qasm", String (Qasm.Printer.to_string f.shrunk));
+        ( "corpus_path",
+          match f.corpus_path with Some p -> String p | None -> Null );
+      ]
+  in
+  Obj
+    [
+      ("schema", String "codar-fuzz-summary/1");
+      ( "config",
+        Obj
+          [
+            ("cases", Int r.config.cases);
+            ("seed", Int r.config.seed);
+            ("max_qubits", Int r.config.max_qubits);
+            ( "devices",
+              List (List.map (fun (n, _) -> String n) r.config.devices) );
+            ("durations", String r.config.durations);
+            ("sim_max_qubits", Int r.config.sim_max_qubits);
+            ("shrink_budget", Int r.config.shrink_budget);
+          ] );
+      ("ran", Int r.ran);
+      ("passed", Int (r.ran - List.length r.failed));
+      ("failed", Int (List.length r.failed));
+      ("checks", Int r.checks);
+      ("sim_checked", Int r.sim_checked);
+      ("failures", List (List.map failure_json r.failed));
+    ]

@@ -1,0 +1,171 @@
+type router = Codar | Sabre | Astar | Reference
+
+let all_routers = [ Codar; Sabre; Astar; Reference ]
+
+let router_name = function
+  | Codar -> "codar"
+  | Sabre -> "sabre"
+  | Astar -> "astar"
+  | Reference -> "reference"
+
+type failure = { oracle : string; router : router option; detail : string }
+
+let pp_failure ppf f =
+  Fmt.pf ppf "%s%a: %s" f.oracle
+    Fmt.(option (fun ppf r -> Fmt.pf ppf "[%s]" (router_name r)))
+    f.router f.detail
+
+type report = { failures : failure list; sim_checked : bool; checks : int }
+
+let passed r = r.failures = []
+
+let route router ~maqam ~initial circuit =
+  try
+    Ok
+      (match router with
+      | Codar -> Codar.Remapper.run ~maqam ~initial circuit
+      | Sabre -> Sabre.Router.run ~maqam ~initial circuit
+      | Astar -> Astar.Router.run ~maqam ~initial circuit
+      | Reference -> Reference_remapper.run ~maqam ~initial circuit)
+  with
+  | Codar.Remapper.Stuck msg
+  | Sabre.Router.Stuck msg
+  | Astar.Router.Stuck msg
+  | Reference_remapper.Stuck msg ->
+    Error ("stuck: " ^ msg)
+  | Invalid_argument msg -> Error ("invalid argument: " ^ msg)
+  | Failure msg -> Error ("failure: " ^ msg)
+
+let has_measure c =
+  Array.exists
+    (function Qc.Gate.Measure _ -> true | _ -> false)
+    (Qc.Circuit.gate_array c)
+
+let event_equal (a : Schedule.Routed.event) (b : Schedule.Routed.event) =
+  Qc.Gate.equal a.gate b.gate
+  && a.start = b.start && a.duration = b.duration && a.inserted = b.inserted
+
+let check_routed ?(sim_max_qubits = 10) ~maqam ~original ~router
+    (r : Schedule.Routed.t) =
+  let failures = ref [] in
+  let fail oracle detail =
+    failures := { oracle; router = Some router; detail } :: !failures
+  in
+  (match Schedule.Verify.check_all ~maqam ~original r with
+  | Ok () -> ()
+  | Error e -> fail "verify" (Fmt.str "%a" Schedule.Verify.pp_error e));
+  let sim_eligible =
+    Arch.Maqam.n_qubits maqam <= sim_max_qubits && not (has_measure original)
+  in
+  if sim_eligible then
+    if not (Sim.Equiv.routed_equivalent ~maqam ~original r) then
+      fail "sim-equiv" "statevector fidelity below tolerance";
+  (List.rev !failures, sim_eligible)
+
+let check ?(sim_max_qubits = 10) ?(routers = all_routers) ~maqam circuit =
+  let n_logical = Qc.Circuit.n_qubits circuit in
+  let n_physical = Arch.Maqam.n_qubits maqam in
+  let initial = Arch.Layout.identity ~n_logical ~n_physical in
+  let failures = ref [] in
+  let checks = ref 0 in
+  let sim_checked = ref false in
+  let add fs = failures := !failures @ fs in
+  (* per-router: route, verify, simulate *)
+  let routed =
+    List.map
+      (fun router ->
+        incr checks;
+        match route router ~maqam ~initial circuit with
+        | Error detail ->
+          add [ { oracle = "route"; router = Some router; detail } ];
+          (router, None)
+        | Ok r ->
+          let fs, simmed =
+            check_routed ~sim_max_qubits ~maqam ~original:circuit ~router r
+          in
+          checks := !checks + if simmed then 2 else 1;
+          if simmed then sim_checked := true;
+          add fs;
+          (router, Some r))
+      routers
+  in
+  (* differential: the production CODAR router against the seed reference *)
+  (match (List.assoc_opt Codar routed, List.assoc_opt Reference routed) with
+  | Some (Some a), Some (Some b) ->
+    incr checks;
+    if
+      not
+        (List.length a.Schedule.Routed.events
+         = List.length b.Schedule.Routed.events
+        && List.for_all2 event_equal a.events b.events)
+    then
+      add
+        [
+          {
+            oracle = "codar-vs-reference";
+            router = Some Codar;
+            detail =
+              Fmt.str "event streams diverge (%d vs %d events)"
+                (List.length a.events) (List.length b.events);
+          };
+        ]
+  | _ -> ());
+  (* circuit-level: QASM round-trip stability *)
+  incr checks;
+  (let printed = Qasm.Printer.to_string circuit in
+   match Qasm.Parser.parse printed with
+   | exception Qasm.Parser.Parse_error (line, msg) ->
+     add
+       [
+         {
+           oracle = "qasm-roundtrip";
+           router = None;
+           detail = Fmt.str "printed text fails to parse at line %d: %s" line msg;
+         };
+       ]
+   | exception Qasm.Lexer.Lex_error (line, msg) ->
+     add
+       [
+         {
+           oracle = "qasm-roundtrip";
+           router = None;
+           detail = Fmt.str "printed text fails to lex at line %d: %s" line msg;
+         };
+       ]
+   | reparsed ->
+     if not (Qc.Circuit.equal circuit reparsed) then
+       add
+         [
+           {
+             oracle = "qasm-roundtrip";
+             router = None;
+             detail = "print |> parse is not the identity";
+           };
+         ]
+     else if not (String.equal printed (Qasm.Printer.to_string reparsed)) then
+       add
+         [
+           {
+             oracle = "qasm-roundtrip";
+             router = None;
+             detail = "print |> parse |> print is not byte-stable";
+           };
+         ]
+     else begin
+       (* fingerprint canonicalisation: formatting cannot fragment the key *)
+       incr checks;
+       let fp c =
+         Cache.Fingerprint.compute ~circuit:c ~maqam ~router:"codar"
+           ~placement:"trivial" ~restarts:1 ~seed:0 ()
+       in
+       if not (String.equal (fp circuit) (fp reparsed)) then
+         add
+           [
+             {
+               oracle = "fingerprint";
+               router = None;
+               detail = "fingerprint differs after a print/parse round-trip";
+             };
+           ]
+     end);
+  { failures = !failures; sim_checked = !sim_checked; checks = !checks }

@@ -1,0 +1,149 @@
+exception Out_of_budget
+
+(* Rebuild a circuit through a (non-injective) qubit renaming, dropping
+   gates that degenerate: two-qubit gates whose operands collide, barriers
+   whose operand set collapses to duplicates. *)
+let remap_merge ~n_qubits f c =
+  let gates =
+    List.filter_map
+      (fun g ->
+        match Qc.Gate.remap f g with
+        | Qc.Gate.Two (_, q1, q2) when q1 = q2 -> None
+        | Qc.Gate.Barrier qs ->
+          Some (Qc.Gate.barrier (List.sort_uniq Stdlib.compare qs))
+        | g' -> Some g')
+      (Qc.Circuit.gates c)
+  in
+  Qc.Circuit.make ~n_qubits gates
+
+(* Renumber used qubits densely; the register never shrinks below 1. *)
+let compact c =
+  let used = Qc.Circuit.used_qubits c in
+  let n = max 1 (List.length used) in
+  if n = Qc.Circuit.n_qubits c then c
+  else begin
+    let table = Hashtbl.create 8 in
+    List.iteri (fun i q -> Hashtbl.replace table q i) used;
+    let f q = match Hashtbl.find_opt table q with Some i -> i | None -> 0 in
+    remap_merge ~n_qubits:n f c
+  end
+
+let angle_candidates = [ 0.; Float.pi /. 4.; Float.pi /. 2.; Float.pi ]
+
+let with_angles (g : Qc.Gate.t) a =
+  match g with
+  | Qc.Gate.One (k, q) -> (
+    match k with
+    | Qc.Gate.Rx _ -> Some (Qc.Gate.rx a q)
+    | Qc.Gate.Ry _ -> Some (Qc.Gate.ry a q)
+    | Qc.Gate.Rz _ -> Some (Qc.Gate.rz a q)
+    | Qc.Gate.U1 _ -> Some (Qc.Gate.u1 a q)
+    | Qc.Gate.U2 _ -> Some (Qc.Gate.u2 a a q)
+    | Qc.Gate.U3 _ -> Some (Qc.Gate.u3 a a a q)
+    | _ -> None)
+  | Qc.Gate.Two (k, q1, q2) -> (
+    match k with
+    | Qc.Gate.XX _ -> Some (Qc.Gate.xx a q1 q2)
+    | Qc.Gate.Rzz _ -> Some (Qc.Gate.rzz a q1 q2)
+    | _ -> None)
+  | Qc.Gate.Barrier _ | Qc.Gate.Measure _ -> None
+
+let replace_gate c i g' =
+  let gates = List.mapi (fun j g -> if j = i then g' else g) (Qc.Circuit.gates c) in
+  Qc.Circuit.make ~n_qubits:(Qc.Circuit.n_qubits c) gates
+
+let remove_gate c i =
+  let gates = List.filteri (fun j _ -> j <> i) (Qc.Circuit.gates c) in
+  Qc.Circuit.make ~n_qubits:(Qc.Circuit.n_qubits c) gates
+
+let shrink ?(max_checks = 2000) ~still_fails c0 =
+  let budget = ref max_checks in
+  let ask c =
+    if !budget <= 0 then raise Out_of_budget;
+    decr budget;
+    still_fails c
+  in
+  if not (still_fails c0) then c0
+  else begin
+    let current = ref c0 in
+    let try_adopt candidate =
+      if ask candidate then begin
+        current := candidate;
+        true
+      end
+      else false
+    in
+    let drop_pass () =
+      let changed = ref false in
+      let i = ref 0 in
+      while !i < Qc.Circuit.length !current do
+        if Qc.Circuit.length !current > 1 && try_adopt (remove_gate !current !i)
+        then changed := true (* same index now names the next gate *)
+        else incr i
+      done;
+      !changed
+    in
+    let compact_pass () =
+      let candidate = compact !current in
+      if Qc.Circuit.equal candidate !current then false
+      else try_adopt candidate
+    in
+    let merge_pass () =
+      let changed = ref false in
+      let n = Qc.Circuit.n_qubits !current in
+      for target = 0 to n - 2 do
+        for victim = target + 1 to n - 1 do
+          let f q = if q = victim then target else q in
+          let candidate =
+            compact (remap_merge ~n_qubits:n f !current)
+          in
+          if
+            (not (Qc.Circuit.equal candidate !current))
+            && try_adopt candidate
+          then changed := true
+        done
+      done;
+      !changed
+    in
+    let round_pass () =
+      let changed = ref false in
+      for i = 0 to Qc.Circuit.length !current - 1 do
+        let g = List.nth (Qc.Circuit.gates !current) i in
+        let canonical =
+          List.exists
+            (fun a ->
+              match with_angles g a with
+              | Some g' -> Qc.Gate.equal g' g
+              | None -> true)
+            angle_candidates
+        in
+        (* keep the first candidate angle the predicate accepts; gates
+           already at a canonical angle are left alone so the pass
+           converges instead of cycling between candidates *)
+        if not canonical then
+          let rec try_candidates = function
+            | [] -> ()
+            | a :: rest -> (
+              match with_angles g a with
+              | Some g' when not (Qc.Gate.equal g' g) ->
+                if try_adopt (replace_gate !current i g') then
+                  changed := true
+                else try_candidates rest
+              | Some _ | None -> try_candidates rest)
+          in
+          try_candidates angle_candidates
+      done;
+      !changed
+    in
+    (try
+       let progress = ref true in
+       while !progress do
+         progress := false;
+         if drop_pass () then progress := true;
+         if merge_pass () then progress := true;
+         if compact_pass () then progress := true;
+         if round_pass () then progress := true
+       done
+     with Out_of_budget -> ());
+    !current
+  end

@@ -1,0 +1,26 @@
+(** Greedy counterexample shrinker.
+
+    Given a circuit on which some predicate holds (typically "the oracle
+    stack still reports this failure"), repeatedly applies
+    simplification passes and keeps every change that preserves the
+    predicate, until a fixpoint:
+
+    + {b drop}: remove single gates;
+    + {b merge}: fuse one qubit into another (gates whose operands
+      collide are dropped, barrier operand lists are deduplicated);
+    + {b compact}: renumber the used qubits densely and shrink the
+      register;
+    + {b round}: replace each rotation angle by the first of
+      [0, π/4, π/2, π] that keeps the predicate true.
+
+    The result is deterministic: passes scan in a fixed order, and the
+    predicate is consulted at most [max_checks] times (the circuit
+    shrunk so far is returned when the budget runs out). *)
+
+val shrink :
+  ?max_checks:int ->
+  still_fails:(Qc.Circuit.t -> bool) ->
+  Qc.Circuit.t ->
+  Qc.Circuit.t
+(** [max_checks] defaults to 2000. The input is returned unchanged when
+    [still_fails] does not hold for it (nothing to shrink against). *)

@@ -30,6 +30,12 @@ let pp_gate ppf (g : Qc.Gate.t) =
     | Qc.Gate.Swap -> Fmt.pf ppf "swap %a;" qubits [ q1; q2 ]
     | Qc.Gate.XX a -> Fmt.pf ppf "rxx(%a) %a;" pp_angle a qubits [ q1; q2 ]
     | Qc.Gate.Rzz a -> Fmt.pf ppf "rzz(%a) %a;" pp_angle a qubits [ q1; q2 ])
+  | Qc.Gate.Barrier [] ->
+    (* the empty operand list means "fence everything" (Schedule.Asap's
+       convention); "barrier ;" is not valid OpenQASM, so print the
+       whole-register form — it re-parses as a barrier on every qubit,
+       which is the same fence *)
+    Fmt.pf ppf "barrier q;"
   | Qc.Gate.Barrier qs -> Fmt.pf ppf "barrier %a;" qubits qs
   | Qc.Gate.Measure (q, c) -> Fmt.pf ppf "measure q[%d] -> c[%d];" q c
 

@@ -213,7 +213,12 @@ let parse_exn s =
       | Some f -> Float f
       | None -> fail start (Printf.sprintf "invalid number %S" text)
   in
-  let rec parse_value () =
+  (* Nesting is bounded so hostile input (e.g. 100k copies of '[') gets a
+     typed parse error instead of a stack overflow; 256 is far beyond any
+     document this library emits. *)
+  let max_depth = 256 in
+  let rec parse_value depth =
+    if depth > max_depth then fail !pos "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail !pos "unexpected end of input"
@@ -230,11 +235,11 @@ let parse_exn s =
         List []
       end
       else begin
-        let items = ref [ parse_value () ] in
+        let items = ref [ parse_value (depth + 1) ] in
         skip_ws ();
         while peek () = Some ',' do
           advance ();
-          items := parse_value () :: !items;
+          items := parse_value (depth + 1) :: !items;
           skip_ws ()
         done;
         expect ']';
@@ -253,7 +258,7 @@ let parse_exn s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           (k, v)
         in
         let fields = ref [ field () ] in
@@ -268,7 +273,7 @@ let parse_exn s =
       end
     | Some c -> fail !pos (Printf.sprintf "unexpected character %C" c)
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail !pos "trailing garbage after value";
   v

@@ -36,7 +36,9 @@ val parse : string -> (t, string) result
 (** Parse one JSON value ([Error] carries offset + message). Numbers
     lex as [Int] when they are integral literals in range (no [.]/[e]),
     else [Float]; BMP [\u] escapes decode to UTF-8. Raw control
-    characters inside strings are rejected, as is trailing garbage. *)
+    characters inside strings are rejected, as is trailing garbage.
+    Nesting deeper than 256 levels is rejected with a parse error, so
+    hostile input cannot overflow the stack. *)
 
 (** {2 Accessors}
 

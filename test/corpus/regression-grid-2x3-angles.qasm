@@ -1,0 +1,17 @@
+// codar-fuzz/1
+// device=grid-2x3
+// durations=superconducting
+// seed=0
+// oracle=regression
+// note=17-significant-digit angles through rotation and two-qubit parametrised gates; pins exact angle preservation across print/parse and the fingerprint
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+rx(0.69813170079773179) q[0];
+u3(1.0471975511965976, -0.52359877559829882, 2.0943951023931953) q[1];
+rzz(2.0943951023931953) q[0], q[3];
+rxx(0.78539816339744828) q[2], q[5];
+u2(3.1415926535897931, -3.1415926535897931) q[4];
+rz(1e-17) q[3];
+ry(-2.2214414690791831) q[5];
+cx q[5], q[0];

@@ -1,0 +1,22 @@
+// codar-fuzz/1
+// device=q5
+// durations=superconducting
+// seed=0
+// oracle=regression
+// note=global and partial barriers interleaved with routing and trailing measures; exercises fence handling in verification with measures disabling the statevector oracle
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+h q[0];
+cx q[0], q[2];
+barrier q;
+x q[3];
+cx q[1], q[4];
+barrier q[0], q[2];
+cx q[2], q[0];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];
+measure q[4] -> c[4];

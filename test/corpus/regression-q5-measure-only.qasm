@@ -1,0 +1,13 @@
+// codar-fuzz/1
+// device=q5
+// durations=superconducting
+// seed=0
+// oracle=regression
+// note=measure-only program (no unitary gates at all); degenerate scheduling input that once needed no swaps but still must verify and round-trip
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[3];
+measure q[0] -> c[0];
+measure q[2] -> c[1];
+measure q[4] -> c[2];

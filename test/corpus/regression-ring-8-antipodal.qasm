@@ -1,0 +1,13 @@
+// codar-fuzz/1
+// device=ring-8
+// durations=superconducting
+// seed=0
+// oracle=regression
+// note=four antipodal CNOTs on a ring: every gate starts at maximal distance, so the remapper must resolve the paper's "deadlock" case (section IV-D) with forced swaps
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[8];
+cx q[0], q[4];
+cx q[1], q[5];
+cx q[2], q[6];
+cx q[3], q[7];

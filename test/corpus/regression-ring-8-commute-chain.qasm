@@ -1,0 +1,18 @@
+// codar-fuzz/1
+// device=ring-8
+// durations=ion-trap
+// seed=0
+// oracle=regression
+// note=diagonal CZ/rzz chain sharing one hub qubit under the ion-trap duration model; stresses the commutative-front window and duration-weighted swap priorities
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[8];
+cz q[0], q[3];
+rzz(0.78539816339744828) q[0], q[5];
+cz q[0], q[7];
+rz(1.5707963267948966) q[0];
+rzz(-0.78539816339744828) q[0], q[2];
+h q[4];
+cz q[4], q[0];
+swap q[1], q[6];
+cz q[0], q[6];

@@ -1,0 +1,322 @@
+(* The differential fuzzing subsystem: generator determinism, the
+   200-case acceptance run, byte-stable summaries, the shrinker on
+   synthetic predicates, corpus round-trips and the committed-corpus
+   replay. The oracle is also shown to reject tampered schedules, so a
+   green fuzz run means something. *)
+
+let default_maqam () =
+  Arch.Maqam.make ~coupling:Arch.Devices.ibm_q5
+    ~durations:Arch.Durations.superconducting
+
+(* ------------------------------------------------------------ generator *)
+
+let test_gen_deterministic () =
+  let cfg = Fuzz.Gen.config ~n_qubits:4 ~gates:30 () in
+  let a = Fuzz.Gen.circuit ~seed:123 cfg in
+  let b = Fuzz.Gen.circuit ~seed:123 cfg in
+  Alcotest.(check bool) "same seed, same circuit" true (Qc.Circuit.equal a b);
+  let c = Fuzz.Gen.circuit ~seed:124 cfg in
+  Alcotest.(check bool)
+    "different seed, different circuit" false (Qc.Circuit.equal a c)
+
+let test_gen_bounds () =
+  for seed = 0 to 49 do
+    let rng = Random.State.make [| seed |] in
+    let cfg = Fuzz.Gen.sample_config rng ~max_qubits:6 in
+    let c = Fuzz.Gen.circuit_rng rng cfg in
+    Alcotest.(check bool)
+      "width within bounds" true
+      (Qc.Circuit.n_qubits c >= 2 && Qc.Circuit.n_qubits c <= 6);
+    (* trailing measures hit distinct qubits and distinct clbits *)
+    let measured_q = Hashtbl.create 8 and measured_c = Hashtbl.create 8 in
+    List.iter
+      (function
+        | Qc.Gate.Measure (q, cl) ->
+          Alcotest.(check bool) "fresh qubit" false (Hashtbl.mem measured_q q);
+          Alcotest.(check bool) "fresh clbit" false (Hashtbl.mem measured_c cl);
+          Hashtbl.replace measured_q q ();
+          Hashtbl.replace measured_c cl ()
+        | _ -> ())
+      (Qc.Circuit.gates c);
+    (* barriers are non-empty: the generator never emits a global fence *)
+    List.iter
+      (function
+        | Qc.Gate.Barrier [] -> Alcotest.fail "generator emitted Barrier []"
+        | _ -> ())
+      (Qc.Circuit.gates c)
+  done
+
+let test_case_seeds_spread () =
+  let seen = Hashtbl.create 64 in
+  for index = 0 to 999 do
+    let s = Fuzz.Gen.case_seed ~run_seed:7 ~index in
+    Alcotest.(check bool) "non-negative" true (s >= 0);
+    Alcotest.(check bool) "no collision" false (Hashtbl.mem seen s);
+    Hashtbl.replace seen s ()
+  done
+
+(* -------------------------------------------------------------- harness *)
+
+(* The acceptance run: 200 fixed-seed cases over three devices, four
+   routers each, full oracle stack, zero failures. *)
+let test_harness_acceptance () =
+  let r = Fuzz.Harness.run Fuzz.Harness.default_config in
+  Alcotest.(check int) "ran all cases" 200 r.ran;
+  Alcotest.(check int) "three devices"
+    3
+    (List.length r.config.devices);
+  (match r.failed with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "case %d on %s failed (%s):@.%a" f.index f.device
+      (String.concat "," f.oracles)
+      (fun ppf c -> Fmt.string ppf (Qasm.Printer.to_string c))
+      f.shrunk);
+  Alcotest.(check bool) "many oracle checks ran" true (r.checks > 2000);
+  Alcotest.(check bool)
+    "statevector oracle ran on a sizeable fraction" true
+    (r.sim_checked > 50)
+
+let test_harness_summary_stable () =
+  let cfg = { Fuzz.Harness.default_config with cases = 60; seed = 42 } in
+  let s1 =
+    Report.Json.to_string (Fuzz.Harness.summary_json (Fuzz.Harness.run cfg))
+  in
+  let s2 =
+    Report.Json.to_string (Fuzz.Harness.summary_json (Fuzz.Harness.run cfg))
+  in
+  Alcotest.(check string) "byte-identical summaries" s1 s2
+
+(* -------------------------------------------------------------- shrinker *)
+
+let has_cx c =
+  List.exists
+    (function Qc.Gate.Two (Qc.Gate.CX, _, _) -> true | _ -> false)
+    (Qc.Circuit.gates c)
+
+let test_shrink_to_single_cx () =
+  let big =
+    Qc.Circuit.make ~n_qubits:6
+      [
+        Qc.Gate.h 0;
+        Qc.Gate.rx 0.3 1;
+        Qc.Gate.cx 2 4;
+        Qc.Gate.barrier [ 0; 1; 2 ];
+        Qc.Gate.cz 3 5;
+        Qc.Gate.cx 1 5;
+        Qc.Gate.t 2;
+      ]
+  in
+  let small = Fuzz.Shrink.shrink ~still_fails:has_cx big in
+  Alcotest.(check bool) "predicate still holds" true (has_cx small);
+  Alcotest.(check int) "one gate left" 1 (Qc.Circuit.length small);
+  Alcotest.(check int) "two qubits left" 2 (Qc.Circuit.n_qubits small)
+
+let test_shrink_rounds_angles () =
+  let big_angle c =
+    List.exists
+      (fun g -> List.exists (fun a -> Float.abs a > 1.0) (Qc.Gate.params g))
+      (Qc.Circuit.gates c)
+  in
+  let c = Qc.Circuit.make ~n_qubits:3 [ Qc.Gate.h 0; Qc.Gate.rx 2.5 1 ] in
+  let small = Fuzz.Shrink.shrink ~still_fails:big_angle c in
+  Alcotest.(check int) "one gate" 1 (Qc.Circuit.length small);
+  (* candidates are tried in order [0; pi/4; pi/2; pi]: pi/2 is the first
+     that keeps |angle| > 1.0 *)
+  match Qc.Circuit.gates small with
+  | [ g ] ->
+    Alcotest.(check (list (float 1e-12)))
+      "angle rounded to pi/2"
+      [ Float.pi /. 2. ]
+      (Qc.Gate.params g)
+  | gates -> Alcotest.failf "expected one gate, got %d" (List.length gates)
+
+let test_shrink_noop_cases () =
+  let minimal = Qc.Circuit.make ~n_qubits:2 [ Qc.Gate.cx 0 1 ] in
+  let r = Fuzz.Shrink.shrink ~still_fails:has_cx minimal in
+  Alcotest.(check bool) "already minimal" true (Qc.Circuit.equal minimal r);
+  let c = Qc.Circuit.make ~n_qubits:2 [ Qc.Gate.h 0 ] in
+  let r = Fuzz.Shrink.shrink ~still_fails:has_cx c in
+  Alcotest.(check bool)
+    "predicate false: input returned" true (Qc.Circuit.equal c r)
+
+let test_shrink_respects_budget () =
+  let calls = ref 0 in
+  let pred c =
+    incr calls;
+    has_cx c
+  in
+  let big =
+    Qc.Circuit.make ~n_qubits:5
+      (List.init 20 (fun i -> Qc.Gate.cx (i mod 5) ((i + 1) mod 5)))
+  in
+  ignore (Fuzz.Shrink.shrink ~max_checks:10 ~still_fails:pred big);
+  Alcotest.(check bool) "stopped near the budget" true (!calls <= 12)
+
+(* --------------------------------------------------------------- corpus *)
+
+let sample_entry () =
+  {
+    Fuzz.Corpus.device = "q5";
+    durations = "superconducting";
+    seed = 991;
+    oracle = "verify";
+    note = "sample entry";
+    circuit =
+      Qc.Circuit.make ~n_qubits:3
+        [ Qc.Gate.h 0; Qc.Gate.cx 0 2; Qc.Gate.measure 2 0 ];
+  }
+
+let test_corpus_roundtrip () =
+  let e = sample_entry () in
+  match Fuzz.Corpus.of_string (Fuzz.Corpus.to_string e) with
+  | Error msg -> Alcotest.fail msg
+  | Ok e' ->
+    Alcotest.(check string) "device" e.device e'.Fuzz.Corpus.device;
+    Alcotest.(check string) "durations" e.durations e'.durations;
+    Alcotest.(check int) "seed" e.seed e'.seed;
+    Alcotest.(check string) "oracle" e.oracle e'.oracle;
+    Alcotest.(check string) "note" e.note e'.note;
+    Alcotest.(check bool)
+      "circuit" true
+      (Qc.Circuit.equal e.circuit e'.circuit)
+
+let test_corpus_write_read () =
+  let dir = Filename.temp_file "fuzz-corpus" "" in
+  Sys.remove dir;
+  let e = sample_entry () in
+  let path = Fuzz.Corpus.write ~dir e in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  (match Fuzz.Corpus.read path with
+  | Error msg -> Alcotest.fail msg
+  | Ok e' -> Alcotest.(check int) "seed survives" e.seed e'.Fuzz.Corpus.seed);
+  let entries = Fuzz.Corpus.load_dir dir in
+  Alcotest.(check int) "one entry listed" 1 (List.length entries);
+  List.iter (fun (p, _) -> Sys.remove p) entries;
+  Unix.rmdir dir
+
+let test_corpus_rejects_garbage () =
+  (match Fuzz.Corpus.of_string "OPENQASM 2.0;\nqreg q[1];\n" with
+  | Ok _ -> Alcotest.fail "accepted entry without magic"
+  | Error _ -> ());
+  let bad_seed =
+    "// codar-fuzz/1\n// device=q5\n// durations=superconducting\n\
+     // seed=banana\n// oracle=verify\nOPENQASM 2.0;\nqreg q[1];\n"
+  in
+  match Fuzz.Corpus.of_string bad_seed with
+  | Ok _ -> Alcotest.fail "accepted a non-integer seed"
+  | Error _ -> ()
+
+(* The committed regression corpus must replay green. Tests run in the
+   dune sandbox (cwd = test/), where the dune deps expose it at
+   corpus/. *)
+let corpus_dir_candidates = [ "corpus"; "test/corpus" ]
+
+let test_corpus_replay () =
+  match List.find_opt Sys.file_exists corpus_dir_candidates with
+  | None -> Alcotest.fail "committed corpus directory not found"
+  | Some dir ->
+    let entries = Fuzz.Corpus.load_dir dir in
+    Alcotest.(check bool)
+      "several committed entries" true
+      (List.length entries >= 5);
+    List.iter
+      (fun (path, entry) ->
+        let report = Fuzz.Harness.replay ~sim_max_qubits:10 entry in
+        if not (Fuzz.Oracle.passed report) then
+          Alcotest.failf "corpus entry %s fails: %a" path
+            (Fmt.list Fuzz.Oracle.pp_failure)
+            report.failures)
+      entries
+
+(* ------------------------------------------------- oracle bite (meta) *)
+
+(* A tampered schedule must be rejected — otherwise a fuzz run proving
+   "all oracles pass" would prove nothing. *)
+let test_oracle_rejects_tampering () =
+  let maqam = default_maqam () in
+  let circuit =
+    Qc.Circuit.make ~n_qubits:3
+      [ Qc.Gate.h 0; Qc.Gate.cx 0 1; Qc.Gate.cx 1 2; Qc.Gate.x 2 ]
+  in
+  let initial = Arch.Layout.identity ~n_logical:3 ~n_physical:5 in
+  let routed = Codar.Remapper.run ~maqam ~initial circuit in
+  let clean, _ =
+    Fuzz.Oracle.check_routed ~maqam ~original:circuit ~router:Fuzz.Oracle.Codar
+      routed
+  in
+  Alcotest.(check int) "untampered schedule passes" 0 (List.length clean);
+  (* dropping a program gate must trip the semantic check *)
+  let dropped =
+    {
+      routed with
+      Schedule.Routed.events =
+        List.filter
+          (fun (e : Schedule.Routed.event) ->
+            not (Qc.Gate.equal e.gate (Qc.Gate.x 2)))
+          routed.events;
+    }
+  in
+  let failures, _ =
+    Fuzz.Oracle.check_routed ~maqam ~original:circuit ~router:Fuzz.Oracle.Codar
+      dropped
+  in
+  Alcotest.(check bool) "dropped gate detected" true (failures <> []);
+  (* overlapping a qubit's events must trip the timing check *)
+  let squashed =
+    {
+      routed with
+      Schedule.Routed.events =
+        List.map
+          (fun (e : Schedule.Routed.event) ->
+            { e with Schedule.Routed.start = 0 })
+          routed.events;
+    }
+  in
+  let failures, _ =
+    Fuzz.Oracle.check_routed ~maqam ~original:circuit ~router:Fuzz.Oracle.Codar
+      squashed
+  in
+  Alcotest.(check bool) "time-squashed schedule detected" true (failures <> [])
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "bounds and invariants" `Quick test_gen_bounds;
+          Alcotest.test_case "case seeds spread" `Quick test_case_seeds_spread;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "200-case acceptance run" `Quick
+            test_harness_acceptance;
+          Alcotest.test_case "summary is byte-stable" `Quick
+            test_harness_summary_stable;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "shrinks to a single cx" `Quick
+            test_shrink_to_single_cx;
+          Alcotest.test_case "rounds angles" `Quick test_shrink_rounds_angles;
+          Alcotest.test_case "no-op cases" `Quick test_shrink_noop_cases;
+          Alcotest.test_case "respects the budget" `Quick
+            test_shrink_respects_budget;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "string round-trip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "write/read/load_dir" `Quick
+            test_corpus_write_read;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_corpus_rejects_garbage;
+          Alcotest.test_case "committed corpus replays green" `Quick
+            test_corpus_replay;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "rejects tampered schedules" `Quick
+            test_oracle_rejects_tampering;
+        ] );
+    ]

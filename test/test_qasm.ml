@@ -218,6 +218,69 @@ let prop_round_trip =
       let reparsed = Qasm.Parser.parse (Qasm.Printer.to_string c) in
       Qc.Circuit.equal c reparsed)
 
+(* The same property driven by the fuzzing generator: full gate coverage
+   with continuous uniform angles (every bit of the double must survive
+   the %.17g print), plus byte-stability of a second print. *)
+let test_round_trip_fuzz_gen () =
+  for seed = 0 to 149 do
+    let cfg =
+      Fuzz.Gen.config ~n_qubits:(2 + (seed mod 5)) ~gates:25
+        ~angles:Fuzz.Gen.Uniform ()
+    in
+    let c = Fuzz.Gen.circuit ~seed cfg in
+    let printed = Qasm.Printer.to_string c in
+    let reparsed = Qasm.Parser.parse printed in
+    if not (Qc.Circuit.equal c reparsed) then
+      Alcotest.failf "seed %d: print |> parse changed the circuit:@.%s" seed
+        printed;
+    let printed' = Qasm.Printer.to_string reparsed in
+    if not (String.equal printed printed') then
+      Alcotest.failf "seed %d: second print not byte-identical" seed
+  done
+
+let test_round_trip_edge_cases () =
+  let rt c = Qasm.Parser.parse (Qasm.Printer.to_string c) in
+  (* empty circuit: header only *)
+  let empty = Qc.Circuit.empty 3 in
+  Alcotest.(check bool) "empty circuit" true (Qc.Circuit.equal empty (rt empty));
+  (* zero-width circuit: qreg q[0]; *)
+  let zero = Qc.Circuit.empty 0 in
+  Alcotest.(check bool) "zero-width circuit" true (Qc.Circuit.equal zero (rt zero));
+  (* measure-only program *)
+  let measures =
+    Qc.Circuit.make ~n_qubits:4
+      [ Qc.Gate.measure 3 0; Qc.Gate.measure 0 1; Qc.Gate.measure 1 2 ]
+  in
+  Alcotest.(check bool) "measure-only" true
+    (Qc.Circuit.equal measures (rt measures));
+  (* an empty barrier is Asap's global fence; it prints as the
+     whole-register form and re-parses as a barrier on every qubit —
+     the same fence, normalised *)
+  let fence = Qc.Circuit.make ~n_qubits:3 [ Qc.Gate.h 0; Qc.Gate.barrier [] ] in
+  let expect =
+    Qc.Circuit.make ~n_qubits:3 [ Qc.Gate.h 0; Qc.Gate.barrier [ 0; 1; 2 ] ]
+  in
+  Alcotest.(check bool) "empty barrier normalises to all qubits" true
+    (Qc.Circuit.equal expect (rt fence));
+  (* and the normalised form is a fixpoint *)
+  Alcotest.(check bool) "normalised fence round-trips" true
+    (Qc.Circuit.equal expect (rt expect))
+
+(* Multi-register inputs flatten into one register; from there,
+   print |> parse must be idempotent even though the register names
+   changed. *)
+let test_multi_register_idempotent () =
+  let src =
+    "OPENQASM 2.0;\nqreg a[2];\nqreg b[3];\ncreg m[2];\ncreg n[1];\n\
+     h a[0];\ncx a[1], b[2];\nbarrier b;\nmeasure a[0] -> m[1];\n\
+     measure b[0] -> n[0];\n"
+  in
+  let c = Qasm.Parser.parse src in
+  Alcotest.(check int) "registers flattened" 5 (Qc.Circuit.n_qubits c);
+  let once = Qasm.Printer.to_string c in
+  let again = Qasm.Printer.to_string (Qasm.Parser.parse once) in
+  Alcotest.(check string) "print |> parse |> print is stable" once again
+
 (* ----------------------------------------------------------- file corpus *)
 
 let corpus_candidates = [ "../examples/qasm"; "examples/qasm" ]
@@ -270,6 +333,12 @@ let () =
           Alcotest.test_case "forms" `Quick test_printer_forms;
           Alcotest.test_case "creg" `Quick test_printer_creg';
           QCheck_alcotest.to_alcotest prop_round_trip;
+          Alcotest.test_case "round-trip over fuzz generator" `Quick
+            test_round_trip_fuzz_gen;
+          Alcotest.test_case "round-trip edge cases" `Quick
+            test_round_trip_edge_cases;
+          Alcotest.test_case "multi-register idempotence" `Quick
+            test_multi_register_idempotent;
         ] );
       ("corpus", [ Alcotest.test_case "sample files" `Quick test_corpus_parses ]);
     ]

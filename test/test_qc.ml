@@ -206,6 +206,109 @@ let prop_commute_symmetric =
     (QCheck.pair gate_arb gate_arb)
     (fun (a, b) -> Qc.Commute.commutes a b = Qc.Commute.commutes b a)
 
+(* Exhaustive cross product of every supported gate kind (parametrised
+   kinds at fixed awkward angles plus seeded random ones) over a 3-qubit
+   window, checked against the matrix commutator. This is the ground
+   truth behind CODAR's Commutative Front: a wrong [commutes] answer
+   reorders gates illegally, so every kind x kind x overlap pattern gets
+   pinned, not just a random sample. *)
+let exhaustive_gate_pool extra_angles =
+  let angles = [ 0.3; -1.1; Float.pi /. 4. ] @ extra_angles in
+  let one_kinds =
+    Qc.Gate.[ I; X; Y; Z; H; S; Sdg; T; Tdg ]
+    @ List.concat_map
+        (fun a ->
+          Qc.Gate.
+            [ Rx a; Ry a; Rz a; U1 a; U2 (a, -.a); U3 (a, -.a, a /. 2.) ])
+        angles
+  in
+  let two_kinds =
+    Qc.Gate.[ CX; CZ; Swap ]
+    @ List.concat_map (fun a -> Qc.Gate.[ XX a; Rzz a ]) angles
+  in
+  (* one-qubit gates on the two qubits that can overlap a pair, two-qubit
+     gates on every ordered pair: covers disjoint, one-shared (either
+     role) and both-shared (aligned and crossed) placements *)
+  List.concat_map (fun k -> [ Qc.Gate.One (k, 0); Qc.Gate.One (k, 1) ]) one_kinds
+  @ List.concat_map
+      (fun k ->
+        [
+          Qc.Gate.Two (k, 0, 1);
+          Qc.Gate.Two (k, 1, 0);
+          Qc.Gate.Two (k, 0, 2);
+          Qc.Gate.Two (k, 1, 2);
+        ])
+      two_kinds
+
+let test_commute_exhaustive () =
+  let rng = Random.State.make [| 2020 |] in
+  let random_angles =
+    List.init 2 (fun _ -> Random.State.float rng (2. *. Float.pi) -. Float.pi)
+  in
+  let pool = exhaustive_gate_pool random_angles in
+  let pairs = ref 0 and fallbacks = ref 0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          incr pairs;
+          let expected = Qc.Matrix.commute a b in
+          let got = Qc.Commute.commutes a b in
+          if got <> expected then
+            Alcotest.failf "commutes %s / %s: got %b, oracle says %b"
+              (Qc.Gate.to_string a) (Qc.Gate.to_string b) got expected;
+          (* the structural fast path must never contradict the oracle *)
+          (match Qc.Commute.commutes_by_rule a b with
+          | None -> incr fallbacks
+          | Some r ->
+            if r <> expected then
+              Alcotest.failf "rule %s / %s: got %b, oracle says %b"
+                (Qc.Gate.to_string a) (Qc.Gate.to_string b) r expected);
+          if Qc.Commute.commutes b a <> got then
+            Alcotest.failf "asymmetric: %s / %s" (Qc.Gate.to_string a)
+              (Qc.Gate.to_string b))
+        pool)
+    pool;
+  Alcotest.(check bool) "cross product is big" true (!pairs > 10_000);
+  Alcotest.(check bool) "some pairs used the exact fallback" true
+    (!fallbacks > 0)
+
+(* Barrier and Measure are not unitary: they commute exactly with gates
+   on disjoint qubits, never with overlapping ones. *)
+let test_commute_nonunitary () =
+  let specials =
+    [
+      Qc.Gate.barrier [ 0 ];
+      Qc.Gate.barrier [ 0; 1 ];
+      Qc.Gate.barrier [ 0; 1; 2 ];
+      Qc.Gate.measure 0 0;
+      Qc.Gate.measure 1 0;
+    ]
+  in
+  let others =
+    specials
+    @ [
+        Qc.Gate.h 0; Qc.Gate.rz 0.4 1; Qc.Gate.cx 0 1; Qc.Gate.cx 1 2;
+        Qc.Gate.xx 0.7 0 2;
+      ]
+  in
+  let disjoint a b =
+    List.for_all (fun q -> not (List.mem q (Qc.Gate.qubits b))) (Qc.Gate.qubits a)
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let expected = disjoint a b in
+          if Qc.Commute.commutes a b <> expected then
+            Alcotest.failf "non-unitary commute %s / %s: expected %b"
+              (Qc.Gate.to_string a) (Qc.Gate.to_string b) expected;
+          if Qc.Commute.commutes b a <> expected then
+            Alcotest.failf "non-unitary commute %s / %s (flipped): expected %b"
+              (Qc.Gate.to_string b) (Qc.Gate.to_string a) expected)
+        others)
+    specials
+
 let prop_inverse =
   QCheck.Test.make ~count:300 ~name:"g * inverse g = identity" gate_arb
     (fun g ->
@@ -628,6 +731,10 @@ let () =
       ( "commute",
         [
           Alcotest.test_case "cases" `Quick test_commute_cases;
+          Alcotest.test_case "exhaustive vs matrix oracle" `Quick
+            test_commute_exhaustive;
+          Alcotest.test_case "barrier/measure disjointness" `Quick
+            test_commute_nonunitary;
           QCheck_alcotest.to_alcotest prop_rule_agrees_with_oracle;
           QCheck_alcotest.to_alcotest prop_commute_symmetric;
           QCheck_alcotest.to_alcotest prop_inverse;

@@ -75,6 +75,32 @@ let test_rejects_unterminated () = parse_err "\"abc"
 let test_rejects_bad_escape () = parse_err {|"\q"|}
 let test_rejects_lone_value_garbage () = parse_err "tru"
 
+(* hostile nesting must be a typed error, not a stack overflow *)
+let test_depth_cap () =
+  let deep n = String.make n '[' ^ "0" ^ String.make n ']' in
+  (* comfortably deep documents still parse... *)
+  (match Json.parse (deep 200) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "depth 200 should parse: %s" msg);
+  (* ...but past the cap it's an error, even at bomb sizes *)
+  parse_err (deep 257);
+  parse_err (deep 100_000);
+  let deep_obj n =
+    let b = Buffer.create (8 * n) in
+    for _ = 1 to n do
+      Buffer.add_string b {|{"k":|}
+    done;
+    Buffer.add_string b "0";
+    for _ = 1 to n do
+      Buffer.add_char b '}'
+    done;
+    Buffer.contents b
+  in
+  (match Json.parse (deep_obj 200) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "object depth 200 should parse: %s" msg);
+  parse_err (deep_obj 100_000)
+
 let test_unicode_escapes () =
   (* BMP escapes decode to UTF-8 bytes: A, é, € *)
   Alcotest.check json_t "\\u down to UTF-8"
@@ -203,6 +229,7 @@ let () =
           Alcotest.test_case "rejects unterminated string" `Quick
             test_rejects_unterminated;
           Alcotest.test_case "rejects bad escape" `Quick test_rejects_bad_escape;
+          Alcotest.test_case "depth cap" `Quick test_depth_cap;
           Alcotest.test_case "rejects truncated literal" `Quick
             test_rejects_lone_value_garbage;
           Alcotest.test_case "unicode escapes" `Quick test_unicode_escapes;

@@ -162,6 +162,113 @@ let test_verify_reorder_rules () =
   | Ok () -> Alcotest.fail "non-commuting reorder accepted"
   | Error e -> Alcotest.failf "wrong error %a" Schedule.Verify.pp_error e
 
+(* --------------------------------------------------------- verify edges *)
+
+let check_all_routers ~maqam circuit =
+  let initial =
+    Arch.Layout.identity ~n_logical:(Qc.Circuit.n_qubits circuit)
+      ~n_physical:(Arch.Maqam.n_qubits maqam)
+  in
+  List.map
+    (fun (name, run) ->
+      let routed = run ~maqam ~initial circuit in
+      (match Schedule.Verify.check_all ~maqam ~original:circuit routed with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "%s fails verification: %a" name
+          Schedule.Verify.pp_error e);
+      (name, routed))
+    [
+      ("codar", fun ~maqam ~initial c -> Codar.Remapper.run ~maqam ~initial c);
+      ("sabre", fun ~maqam ~initial c -> Sabre.Router.run ~maqam ~initial c);
+      ("astar", fun ~maqam ~initial c -> Astar.Router.run ~maqam ~initial c);
+    ]
+
+(* Zero-duration events (barriers) must be exempt from overlap checking
+   yet still verified — and they must not add to the weighted depth. *)
+let test_verify_zero_duration_events () =
+  let circuit =
+    Qc.Circuit.make ~n_qubits:3
+      [
+        Qc.Gate.h 0;
+        Qc.Gate.barrier [ 0; 1; 2 ];
+        Qc.Gate.cx 0 1;
+        Qc.Gate.barrier [ 0; 1 ];
+        Qc.Gate.barrier [ 0; 1; 2 ];
+        Qc.Gate.h 2;
+      ]
+  in
+  List.iter
+    (fun (_, routed) ->
+      List.iter
+        (fun (e : Schedule.Routed.event) ->
+          match e.gate with
+          | Qc.Gate.Barrier _ ->
+            Alcotest.(check int) "barrier has zero duration" 0 e.duration
+          | _ -> ())
+        routed.Schedule.Routed.events)
+    (check_all_routers ~maqam:maqam_linear4 circuit);
+  (* back-to-back barriers on the same qubits: legal, not an Overlap *)
+  let fences =
+    Qc.Circuit.make ~n_qubits:2
+      [ Qc.Gate.barrier [ 0; 1 ]; Qc.Gate.barrier [ 0; 1 ] ]
+  in
+  ignore (check_all_routers ~maqam:maqam_linear4 fences)
+
+(* A single-qubit-only circuit needs no SWAPs anywhere; the weighted
+   depth is the longest per-qubit chain under the duration model. *)
+let test_verify_single_qubit_only () =
+  let circuit =
+    Qc.Circuit.make ~n_qubits:4
+      [
+        Qc.Gate.h 0; Qc.Gate.t 0; Qc.Gate.rx 0.4 0;
+        Qc.Gate.x 1; Qc.Gate.z 3;
+      ]
+  in
+  List.iter
+    (fun (name, routed) ->
+      Alcotest.(check int) (name ^ " inserts no swaps") 0
+        (Schedule.Routed.swap_count routed);
+      (* three 1-cycle gates on qubit 0 dominate *)
+      Alcotest.(check int) (name ^ " weighted depth") 3
+        routed.Schedule.Routed.makespan)
+    (check_all_routers ~maqam:maqam_linear4 circuit)
+
+(* Every CF gate already adjacent: zero SWAPs, and the serial CX chain's
+   weighted depth is exactly 3 x two_qubit = 6 on the superconducting
+   model. *)
+let test_verify_all_adjacent_chain () =
+  let circuit =
+    Qc.Circuit.make ~n_qubits:4
+      [ Qc.Gate.cx 0 1; Qc.Gate.cx 1 2; Qc.Gate.cx 2 3 ]
+  in
+  List.iter
+    (fun (name, routed) ->
+      Alcotest.(check int) (name ^ " inserts no swaps") 0
+        (Schedule.Routed.swap_count routed);
+      Alcotest.(check int) (name ^ " weighted depth") 6
+        routed.Schedule.Routed.makespan)
+    (check_all_routers ~maqam:maqam_linear4 circuit)
+
+(* Zero-gate and measure-only circuits: degenerate but legal inputs. *)
+let test_verify_degenerate_circuits () =
+  List.iter
+    (fun (_, routed) ->
+      Alcotest.(check int) "no events" 0
+        (List.length routed.Schedule.Routed.events);
+      Alcotest.(check int) "zero makespan" 0 routed.Schedule.Routed.makespan)
+    (check_all_routers ~maqam:maqam_linear4 (Qc.Circuit.empty 3));
+  List.iter
+    (fun (name, routed) ->
+      Alcotest.(check int) (name ^ " no swaps") 0
+        (Schedule.Routed.swap_count routed);
+      (* one measure per qubit, all parallel: depth = measure duration *)
+      Alcotest.(check int) (name ^ " makespan") 5
+        routed.Schedule.Routed.makespan)
+    (check_all_routers ~maqam:maqam_linear4
+       (Qc.Circuit.make ~n_qubits:3
+          [ Qc.Gate.measure 0 0; Qc.Gate.measure 1 1; Qc.Gate.measure 2 2 ]))
+
 let test_reschedule () =
   let circuit, r = route_linear4 [ Qc.Gate.cx 0 3; Qc.Gate.h 1 ] in
   let r' = Schedule.Asap.reschedule ~durations:sc ~n_physical:4 r in
@@ -242,6 +349,14 @@ let () =
           Alcotest.test_case "final layout" `Quick test_verify_final_layout;
           Alcotest.test_case "tampering" `Quick test_verify_equivalence_tamper;
           Alcotest.test_case "reorder rules" `Quick test_verify_reorder_rules;
+          Alcotest.test_case "zero-duration events" `Quick
+            test_verify_zero_duration_events;
+          Alcotest.test_case "single-qubit-only circuit" `Quick
+            test_verify_single_qubit_only;
+          Alcotest.test_case "all-adjacent chain" `Quick
+            test_verify_all_adjacent_chain;
+          Alcotest.test_case "degenerate circuits" `Quick
+            test_verify_degenerate_circuits;
           Alcotest.test_case "reschedule" `Quick test_reschedule;
         ] );
       ( "stats",

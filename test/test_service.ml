@@ -275,6 +275,82 @@ let test_survives_hostile_clients () =
     (reply_ok (request sock {|{"op":"ping"}|}));
   ignore (shutdown_and_join sock server)
 
+(* Deeper hostility: binary junk, wrong-typed fields, pathologically
+   nested JSON. Every line must come back as a typed error on a live
+   connection — in particular the deep-nesting frames, which would blow
+   the parser's stack (and silently kill the connection) without the
+   depth cap in Report.Json. *)
+let test_hostile_frame_battery () =
+  let sock = temp_sock "battery" in
+  let server = start (Service.Server.config ~jobs:1 ~socket_path:sock ()) in
+  Service.Client.with_connection sock (fun t ->
+      let req frame = Service.Client.request t frame in
+      let check_code name code frame =
+        Alcotest.(check string) name code (reply_code (req frame))
+      in
+      (* an entirely blank line is a documented keep-alive (no reply),
+         so the battery starts at whitespace-with-content *)
+      check_code "whitespace line" "parse" "   ";
+      check_code "binary junk" "parse" "\x01\xfe\xff\x00\x7f\x1b[31m";
+      check_code "truncated object" "parse" {|{"op":"ping"|};
+      check_code "truncated string" "parse" {|{"op":"pi|};
+      check_code "trailing garbage" "parse" {|{"op":"ping"} extra|};
+      check_code "two frames in one line" "parse" {|{"op":"ping"}{"op":"ping"}|};
+      check_code "op is a number" "bad_request" {|{"op":123}|};
+      check_code "op is null" "bad_request" {|{"op":null}|};
+      check_code "missing op" "bad_request" {|{"id":1}|};
+      check_code "wrong-typed option" "bad_request"
+        {|{"op":"route","bench":"qft_4","restarts":"three"}|};
+      check_code "wrong-typed source" "bad_request" {|{"op":"route","bench":123}|};
+      check_code "batch items wrong type" "bad_request"
+        {|{"op":"batch","items":[1,2]}|};
+      (* ~4000 levels of nesting: a typed parse error, not a stack
+         overflow or a dead connection *)
+      let deep_list =
+        {|{"op":|} ^ String.make 4000 '[' ^ String.make 4000 ']' ^ "}"
+      in
+      check_code "deeply nested list" "parse" deep_list;
+      let deep_obj =
+        let b = Buffer.create 40_000 in
+        Buffer.add_string b {|{"op":|};
+        for _ = 1 to 4000 do
+          Buffer.add_string b {|{"k":|}
+        done;
+        Buffer.add_string b "0";
+        for _ = 1 to 4000 do
+          Buffer.add_char b '}'
+        done;
+        Buffer.add_char b '}';
+        Buffer.contents b
+      in
+      check_code "deeply nested object" "parse" deep_obj;
+      (* the same connection still serves after the whole battery *)
+      Alcotest.(check bool) "connection survives" true
+        (reply_ok (req {|{"op":"ping"}|})));
+  Alcotest.(check bool) "daemon survives" true
+    (reply_ok (request sock {|{"op":"ping"}|}));
+  ignore (shutdown_and_join sock server)
+
+(* parse_frame itself must be total: any byte string yields Ok or a
+   typed error, never an exception. *)
+let prop_parse_frame_total =
+  QCheck.Test.make ~count:500 ~name:"parse_frame never raises"
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+    (fun s ->
+      match Service.Protocol.parse_frame s with
+      | Ok _ | Error _ -> true)
+
+(* and the same for near-miss JSON: random mutations of a valid frame *)
+let prop_parse_frame_mutations =
+  let base = {|{"op":"route","bench":"qft_4","arch":"tokyo","restarts":2}|} in
+  QCheck.Test.make ~count:500 ~name:"parse_frame survives mutations"
+    QCheck.(pair (int_bound (String.length base - 1)) (int_bound 255))
+    (fun (pos, byte) ->
+      let mutated = Bytes.of_string base in
+      Bytes.set mutated pos (Char.chr byte);
+      match Service.Protocol.parse_frame (Bytes.to_string mutated) with
+      | Ok _ | Error _ -> true)
+
 (* ------------------------------------------------------------ persistence *)
 
 let test_cache_survives_restart () =
@@ -319,7 +395,14 @@ let () =
             test_coalescing_single_computation;
           Alcotest.test_case "hostile clients" `Quick
             test_survives_hostile_clients;
+          Alcotest.test_case "hostile frame battery" `Quick
+            test_hostile_frame_battery;
           Alcotest.test_case "cache survives restart" `Quick
             test_cache_survives_restart;
+        ] );
+      ( "protocol",
+        [
+          QCheck_alcotest.to_alcotest prop_parse_frame_total;
+          QCheck_alcotest.to_alcotest prop_parse_frame_mutations;
         ] );
     ]
