@@ -480,15 +480,56 @@ let serve_cmd =
     Arg.(
       value & opt int 64
       & info [ "queue" ]
-          ~doc:"Bound on queued-but-not-yet-routing jobs (back-pressure).")
+          ~doc:"Bound on queued-but-not-yet-routing jobs (back-pressure); \
+                requests beyond it are refused with the typed `overloaded` \
+                error.")
   in
-  let run socket jobs cache_entries cache_bytes cache_file max_request queue =
+  let timeout =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ]
+          ~doc:"Per-request deadline in milliseconds: bounds both a stalled \
+                mid-frame request read and the wait for a routing outcome; \
+                expiry answers the typed `deadline_exceeded` error. No \
+                deadline by default.")
+  in
+  let faults =
+    Arg.(
+      value & opt (some int) None
+      & info [ "faults" ] ~docv:"SEED"
+          ~doc:"Arm the deterministic fault-injection plan with this seed \
+                (testing only): short reads, mid-frame EOFs, stalls, write \
+                errors, pool task exceptions and persistence faults, per \
+                $(b,--fault-profile). See docs/ROBUSTNESS.md.")
+  in
+  let fault_profile =
+    Arg.(
+      value
+      & opt (enum [ ("soak", `Soak); ("persist-crash", `Persist_crash) ]) `Soak
+      & info [ "fault-profile" ]
+          ~doc:"Which plan $(b,--faults) arms: `soak` (low-rate faults at \
+                every point) or `persist-crash` (every cache save stalls \
+                3 s mid-persist, for kill -9 crash-recovery drills).")
+  in
+  let run socket jobs cache_entries cache_bytes cache_file max_request queue
+      timeout faults fault_profile =
     guard @@ fun () ->
     let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
+    (match faults with
+    | Some seed ->
+      let name, plan =
+        match fault_profile with
+        | `Soak -> ("soak", Faults.soak ~seed)
+        | `Persist_crash -> ("persist-crash", Faults.persist_crash ~seed)
+      in
+      Faults.arm plan;
+      Fmt.epr "codar serve: fault plan armed (profile %s, seed %d)@." name
+        seed
+    | None -> ());
     let cfg =
       Service.Server.config ~jobs ~cache_entries ?cache_bytes ?cache_file
         ?max_request_bytes:max_request ~queue_capacity:queue
-        ~socket_path:socket ()
+        ?timeout_ms:timeout ~handle_signals:true ~socket_path:socket ()
     in
     let svc =
       Service.Server.run
@@ -507,7 +548,7 @@ let serve_cmd =
              content-addressed routing cache (docs/SERVICE.md).")
     Term.(
       const run $ socket_arg $ jobs $ cache_entries $ cache_bytes $ cache_file
-      $ max_request $ queue)
+      $ max_request $ queue $ timeout $ faults $ fault_profile)
 
 let client_cmd =
   let op =
@@ -562,6 +603,20 @@ let client_cmd =
       value & opt (some string) None
       & info [ "file" ] ~doc:"Cache file for cache-save / cache-load.")
   in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ]
+          ~doc:"Retry an `overloaded` reply up to this many times with \
+                seeded-jitter exponential backoff (0 = fail immediately).")
+  in
+  let retry_base_ms =
+    Arg.(
+      value & opt int 5
+      & info [ "retry-base-ms" ]
+          ~doc:"Base backoff for $(b,--retries): retry $(i,k) sleeps \
+                base*2^k ms plus deterministic jitter.")
+  in
   (* exit code chosen from the reply so shell tests can assert failure
      classes: route_failed -> 4, io -> 5, every other error -> 2 *)
   let exit_of_reply line =
@@ -577,8 +632,9 @@ let client_cmd =
     | Error _ -> exit_io
   in
   let run socket op input bench arch durations router placement restarts seed
-      stats file =
+      stats file retries retry_base_ms =
     guard @@ fun () ->
+    if retries < 0 then Fmt.failwith "--retries must be >= 0";
     let opt_str key = Option.map (fun v -> (key, Report.Json.String v)) in
     let opt_int key = Option.map (fun v -> (key, Report.Json.Int v)) in
     let frame =
@@ -633,13 +689,16 @@ let client_cmd =
                  ]))
       | `Raw -> None
     in
+    let ask t line =
+      if retries = 0 then Service.Client.request t line
+      else
+        Service.Client.request_with_retry ~attempts:retries
+          ~base_delay_ms:retry_base_ms t line
+    in
     Service.Client.with_connection socket (fun t ->
         match frame with
         | Some frame ->
-          let reply =
-            Service.Client.request t
-              (Report.Json.to_string ~indent:0 frame)
-          in
+          let reply = ask t (Report.Json.to_string ~indent:0 frame) in
           print_endline reply;
           let code = exit_of_reply reply in
           if code <> 0 then exit code
@@ -649,7 +708,7 @@ let client_cmd =
             match In_channel.input_line stdin with
             | None -> ()
             | Some line ->
-              print_endline (Service.Client.request t line);
+              print_endline (ask t line);
               pump ()
           in
           pump ())
@@ -659,7 +718,7 @@ let client_cmd =
        ~doc:"Talk to a running `codar_cli serve` daemon.")
     Term.(
       const run $ socket_arg $ op $ input $ bench $ arch $ durations $ router
-      $ placement $ restarts $ seed $ stats $ file)
+      $ placement $ restarts $ seed $ stats $ file $ retries $ retry_base_ms)
 
 let fuzz_cmd =
   let cases =
@@ -717,8 +776,17 @@ let fuzz_cmd =
              ~doc:"Replay every corpus entry under $(docv) through the \
                    oracle stack instead of generating new cases.")
   in
+  let faults =
+    Arg.(value & opt (some int) None
+         & info [ "faults" ] ~docv:"SEED"
+             ~doc:"Additionally drive every case's routing record through \
+                   the crash-safe cache-persistence path under a per-case \
+                   fault plan (disk-full and silent-corruption injections) \
+                   derived from $(docv). A violated persistence invariant \
+                   fails the case as oracle `fault-persistence`.")
+  in
   let run cases seed max_qubits archs durations sim_max_qubits shrink_budget
-      json corpus replay =
+      json corpus replay faults =
     guard @@ fun () ->
     match replay with
     | Some dir ->
@@ -765,6 +833,7 @@ let fuzz_cmd =
           sim_max_qubits;
           shrink_budget;
           corpus_dir = corpus;
+          faults;
         }
       in
       let result = Fuzz.Harness.run cfg in
@@ -823,7 +892,7 @@ let fuzz_cmd =
          ])
     Term.(
       const run $ cases $ seed $ max_qubits $ archs $ durations
-      $ sim_max_qubits $ shrink_budget $ json $ corpus $ replay)
+      $ sim_max_qubits $ shrink_budget $ json $ corpus $ replay $ faults)
 
 let devices_cmd =
   let run () =

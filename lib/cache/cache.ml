@@ -171,12 +171,93 @@ let to_json t =
           ("entries", Report.Json.List !entries);
         ])
 
+(* Crash-safe save: serialise, checksum, write header + payload to a
+   unique temp file in the target directory, fsync, atomically rename
+   over the target, then best-effort fsync the directory. At no point is
+   the target itself open for writing, so a crash — at any instruction,
+   including the fault-injected stall between fsync and rename — leaves
+   the target as either the complete old or the complete new snapshot.
+
+   The header line is [codar-cache-sum/1 <fnv1a64-hex> <payload-bytes>];
+   everything after the first newline is the JSON payload the checksum
+   covers. Files written before this header existed (plain JSON) still
+   load, without integrity protection. *)
+
+let sum_magic = "codar-cache-sum/1"
+
+let sys_error fmt = Fmt.kstr (fun msg -> raise (Sys_error msg)) fmt
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    let n =
+      try Unix.write_substring fd s !pos (len - !pos)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    pos := !pos + n
+  done
+
+let fsync_dir path =
+  (* not all filesystems let you fsync a directory; losing the rename's
+     durability (not its atomicity) on those is acceptable *)
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let save t path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-      Report.Json.output oc (to_json t));
-  Sys.rename tmp path
+  let payload = Report.Json.to_string (to_json t) ^ "\n" in
+  let header =
+    Printf.sprintf "%s %s %d\n" sum_magic
+      (Fingerprint.to_hex (Fingerprint.fnv1a64 payload))
+      (String.length payload)
+  in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let fd =
+    try Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      sys_error "%s: %s" tmp (Unix.error_message e)
+  in
+  let give_up msg =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (try Sys.remove tmp with Sys_error _ -> ());
+    sys_error "%s: %s" tmp msg
+  in
+  (try
+     (* the corrupt fault flips a payload byte *after* the checksum was
+        computed: the file lands intact-looking but must fail to load *)
+     let payload =
+       if Faults.fire Faults.Cache_save_corrupt && String.length payload > 2
+       then begin
+         let b = Bytes.of_string payload in
+         let i = String.length payload / 2 in
+         Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+         Bytes.to_string b
+       end
+       else payload
+     in
+     if Faults.fire Faults.Cache_save_disk_full then begin
+       (* model ENOSPC: half the bytes land, then the write fails *)
+       write_all fd header;
+       write_all fd (String.sub payload 0 (String.length payload / 2));
+       give_up "injected fault: no space left on device"
+     end;
+     write_all fd header;
+     write_all fd payload;
+     Unix.fsync fd
+   with Unix.Unix_error (e, _, _) -> give_up (Unix.error_message e));
+  (try Unix.close fd
+   with Unix.Unix_error (e, _, _) ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     sys_error "%s: %s" tmp (Unix.error_message e));
+  Faults.pause Faults.Cache_save_stall;
+  (try Sys.rename tmp path
+   with Sys_error msg ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise (Sys_error msg));
+  fsync_dir (Filename.dirname path)
 
 let ( let* ) = Result.bind
 
@@ -221,13 +302,64 @@ let of_json ?max_bytes ~max_entries j =
   Codar.Stats.cache_reset t.counters;
   Ok t
 
+type load_error =
+  | Io of string
+  | Corrupt of string
+  | Malformed of string
+
+let load_error_to_string = function
+  | Io msg -> "cache file unreadable: " ^ msg
+  | Corrupt msg -> "cache file corrupt (starting cold): " ^ msg
+  | Malformed msg -> "cache file malformed (starting cold): " ^ msg
+
+(* header = "codar-cache-sum/1 <16 hex> <decimal payload length>" *)
+let parse_sum_header line =
+  match String.split_on_char ' ' line with
+  | [ magic; sum; len ] when magic = sum_magic -> (
+    match int_of_string_opt len with
+    | Some n when n >= 0 && String.length sum = 16 -> Some (sum, n)
+    | Some _ | None -> None)
+  | _ -> None
+
 let load ?max_bytes ~max_entries path =
   match
     let ic = open_in_bin path in
     Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
         really_input_string ic (in_channel_length ic))
   with
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error msg -> Error (Io msg)
   | text ->
-    let* j = Report.Json.parse text in
-    of_json ?max_bytes ~max_entries j
+    let parse_payload payload =
+      match Report.Json.parse payload with
+      | Error msg -> Error (Malformed msg)
+      | Ok j ->
+        Result.map_error
+          (fun msg -> Malformed msg)
+          (of_json ?max_bytes ~max_entries j)
+    in
+    if
+      String.length text >= String.length sum_magic
+      && String.sub text 0 (String.length sum_magic) = sum_magic
+    then begin
+      match String.index_opt text '\n' with
+      | None -> Error (Corrupt "checksum header without payload")
+      | Some i -> (
+        let header = String.sub text 0 i in
+        let payload =
+          String.sub text (i + 1) (String.length text - i - 1)
+        in
+        match parse_sum_header header with
+        | None -> Error (Corrupt "malformed checksum header")
+        | Some (sum, expected_len) ->
+          if String.length payload <> expected_len then
+            Error
+              (Corrupt
+                 (Fmt.str "truncated: %d of %d payload bytes"
+                    (String.length payload) expected_len))
+          else if Fingerprint.to_hex (Fingerprint.fnv1a64 payload) <> sum
+          then Error (Corrupt "checksum mismatch")
+          else parse_payload payload)
+    end
+    else
+      (* pre-checksum files are plain JSON; accept them unchecked *)
+      parse_payload text

@@ -46,10 +46,13 @@ val counters : t -> Codar.Stats.cache
 
 (** {2 Persistence}
 
-    One JSON file (schema ["codar-cache/1"]), entries MRU-first. Loading
+    On disk: a one-line integrity header
+    ["codar-cache-sum/1 <fnv1a64-hex> <payload-bytes>"] followed by one
+    JSON payload (schema ["codar-cache/1"]), entries MRU-first. Loading
     restores both contents and recency order and starts with clean
     counters; records re-serialise byte-identically
-    ({!Report.Record.of_json}). *)
+    ({!Report.Record.of_json}). Files from before the header existed
+    (plain JSON) still load. *)
 
 val to_json : t -> Report.Json.t
 
@@ -57,10 +60,27 @@ val of_json :
   ?max_bytes:int -> max_entries:int -> Report.Json.t -> (t, string) result
 
 val save : t -> string -> unit
-(** Write-to-temp-then-rename; raises [Sys_error] on I/O failure. *)
+(** Crash-safe write: serialise + checksum into a unique temp file in
+    the target's directory, [fsync], atomically rename over the target,
+    then best-effort [fsync] the directory. A crash at any point leaves
+    the target as either the complete old or the complete new snapshot,
+    never a torn mix. Raises [Sys_error] on I/O failure (the temp file
+    is removed; the target is untouched). Honours the
+    {!Faults.point}[.Cache_save_*] injection points. *)
+
+type load_error =
+  | Io of string  (** the file could not be opened or read *)
+  | Corrupt of string
+      (** checksum mismatch, truncation, or a mangled header — the
+          typed cold-start: callers log and continue with a fresh
+          cache rather than aborting *)
+  | Malformed of string  (** JSON or schema errors in the payload *)
+
+val load_error_to_string : load_error -> string
 
 val load :
-  ?max_bytes:int -> max_entries:int -> string -> (t, string) result
-(** Read + parse + {!of_json}; never raises on missing or malformed
-    files. Caps are the {e new} cache's caps — a file larger than them
-    loads truncated to the most recent entries. *)
+  ?max_bytes:int -> max_entries:int -> string -> (t, load_error) result
+(** Read, verify the checksum when the header is present, parse,
+    {!of_json}; never raises on missing, truncated or corrupt files.
+    Caps are the {e new} cache's caps — a file larger than them loads
+    truncated to the most recent entries. *)

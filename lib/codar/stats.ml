@@ -90,6 +90,8 @@ type service = {
   mutable coalesced : int;
   mutable connections : int;
   mutable disconnects : int;
+  mutable timeouts : int;
+  mutable overloads : int;
 }
 
 let service_create () =
@@ -101,6 +103,8 @@ let service_create () =
     coalesced = 0;
     connections = 0;
     disconnects = 0;
+    timeouts = 0;
+    overloads = 0;
   }
 
 let service_reset s =
@@ -110,11 +114,13 @@ let service_reset s =
   s.routes_computed <- 0;
   s.coalesced <- 0;
   s.connections <- 0;
-  s.disconnects <- 0
+  s.disconnects <- 0;
+  s.timeouts <- 0;
+  s.overloads <- 0
 
 let pp_service ppf s =
   Fmt.pf ppf
     "service: %d requests (%d ok, %d err); %d routes computed, %d \
-     coalesced; %d connections, %d disconnects"
+     coalesced; %d connections, %d disconnects; %d timeouts, %d overloads"
     s.requests s.responses_ok s.responses_err s.routes_computed s.coalesced
-    s.connections s.disconnects
+    s.connections s.disconnects s.timeouts s.overloads

@@ -68,6 +68,12 @@ type service = {
   mutable coalesced : int;  (** requests that piggybacked on an in-flight route *)
   mutable connections : int;  (** clients accepted *)
   mutable disconnects : int;  (** clients lost mid-conversation, survived *)
+  mutable timeouts : int;
+      (** requests answered [deadline_exceeded]: a stalled mid-frame
+          client or a route that outlived [--timeout-ms] *)
+  mutable overloads : int;
+      (** requests answered [overloaded]: the dispatch queue was full
+          when they arrived (admission control, not blocking) *)
 }
 
 val service_create : unit -> service

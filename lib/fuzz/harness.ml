@@ -7,6 +7,7 @@ type config = {
   sim_max_qubits : int;
   shrink_budget : int;
   corpus_dir : string option;
+  faults : int option;
 }
 
 let default_devices =
@@ -26,6 +27,7 @@ let default_config =
     sim_max_qubits = 10;
     shrink_budget = 300;
     corpus_dir = None;
+    faults = None;
   }
 
 type case_failure = {
@@ -68,6 +70,77 @@ let shrink_failure ~budget ~maqam ~sim_max_qubits ~oracles circuit =
   in
   Shrink.shrink ~max_checks:budget ~still_fails circuit
 
+(* ------------------------------------------- fault-persistence oracle *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* With [--faults fseed], every case additionally exercises the crash-safe
+   cache-persistence path under a per-case injection plan: route the case
+   circuit, cache the record, snapshot it cleanly, then save again with
+   disk-full and silent-corruption faults armed. The invariants checked
+   are exactly docs/ROBUSTNESS.md's: a failed save leaves the previous
+   snapshot byte-intact; a successful save either reloads the record
+   byte-identically or is detected as corrupt (typed cold start). Any
+   other outcome is a case failure named ["fault-persistence"]. *)
+let fault_persistence_check ~fseed ~index ~maqam ~case_seed circuit =
+  let n_logical = Qc.Circuit.n_qubits circuit in
+  let n_physical = Arch.Maqam.n_qubits maqam in
+  let initial = Arch.Layout.identity ~n_logical ~n_physical in
+  match Codar.Remapper.run ~maqam ~initial circuit with
+  | exception _ -> None (* routing trouble is the other oracles' business *)
+  | routed -> (
+    (* wall_s pinned so the record bytes are a pure function of the case *)
+    let record =
+      Report.Record.make ~source:"fuzz" ~router:"codar" ~placement:"identity"
+        ~wall_s:0. ~maqam ~original:circuit routed
+    in
+    let fp =
+      Cache.Fingerprint.compute ~circuit ~maqam ~router:"codar"
+        ~placement:"identity" ~restarts:1 ~seed:case_seed ()
+    in
+    let cache = Cache.create ~max_entries:4 () in
+    Cache.add cache fp record;
+    let path = Filename.temp_file "codar-fuzz-cache" ".json" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Cache.save cache path;
+        let old_snapshot = read_file path in
+        let plan =
+          Faults.plan
+            ~seed:(Faults.mix ~seed:fseed ~index)
+            [
+              (Faults.Cache_save_disk_full, 0.25);
+              (Faults.Cache_save_corrupt, 0.25);
+            ]
+        in
+        let saved =
+          Faults.with_plan plan (fun () ->
+              match Cache.save cache path with
+              | () -> Ok ()
+              | exception Sys_error msg -> Error msg)
+        in
+        match saved with
+        | Error _ ->
+          if String.equal (read_file path) old_snapshot then None
+          else Some "failed save damaged the existing snapshot"
+        | Ok () -> (
+          match Cache.load ~max_entries:4 path with
+          | Error (Cache.Corrupt _) -> None (* injected, detected: cold start *)
+          | Error e ->
+            Some ("unexpected load error: " ^ Cache.load_error_to_string e)
+          | Ok loaded -> (
+            match Cache.find loaded fp with
+            | None -> Some "entry missing after reload"
+            | Some got ->
+              let ser r = Report.Json.to_string (Report.Record.to_json r) in
+              if String.equal (ser got) (ser record) then None
+              else Some "reloaded record is not byte-identical"))))
+
 let run_case cfg ~durations ~index =
   let n_devices = List.length cfg.devices in
   let device_name, coupling = List.nth cfg.devices (index mod n_devices) in
@@ -78,6 +151,25 @@ let run_case cfg ~durations ~index =
   let gen_cfg = Gen.sample_config rng ~max_qubits:(min cfg.max_qubits width) in
   let circuit = Gen.circuit_rng rng gen_cfg in
   let report = Oracle.check ~sim_max_qubits:cfg.sim_max_qubits ~maqam circuit in
+  let fault_failure =
+    match cfg.faults with
+    | None -> None
+    | Some fseed ->
+      Option.map
+        (fun detail ->
+          (* not shrunk: Oracle.check does not include this property, so
+             Shrink's still-fails predicate cannot drive it *)
+          {
+            index;
+            case_seed;
+            device = device_name;
+            oracles = [ "fault-persistence" ];
+            detail;
+            shrunk = circuit;
+            corpus_path = None;
+          })
+        (fault_persistence_check ~fseed ~index ~maqam ~case_seed circuit)
+  in
   let failure =
     if Oracle.passed report then None
     else begin
@@ -117,7 +209,7 @@ let run_case cfg ~durations ~index =
         }
     end
   in
-  (report, failure)
+  (report, match failure with Some _ -> failure | None -> fault_failure)
 
 let run ?(progress = fun _ -> ()) cfg =
   if cfg.devices = [] then invalid_arg "Fuzz.Harness: empty device list";
@@ -129,6 +221,7 @@ let run ?(progress = fun _ -> ()) cfg =
   for index = 0 to cfg.cases - 1 do
     let report, failure = run_case cfg ~durations ~index in
     checks := !checks + report.Oracle.checks;
+    if cfg.faults <> None then incr checks;
     if report.sim_checked then incr sim_checked;
     Option.iter (fun f -> failed := f :: !failed) failure;
     progress index
@@ -181,6 +274,8 @@ let summary_json (r : result) =
             ("durations", String r.config.durations);
             ("sim_max_qubits", Int r.config.sim_max_qubits);
             ("shrink_budget", Int r.config.shrink_budget);
+            ( "faults",
+              match r.config.faults with Some s -> Int s | None -> Null );
           ] );
       ("ran", Int r.ran);
       ("passed", Int (r.ran - List.length r.failed));

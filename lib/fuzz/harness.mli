@@ -19,6 +19,12 @@ type config = {
   sim_max_qubits : int;  (** device-width bound for the statevector oracle *)
   shrink_budget : int;  (** predicate evaluations per failing case *)
   corpus_dir : string option;  (** write shrunk counterexamples here *)
+  faults : int option;
+      (** when set, every case additionally exercises the crash-safe
+          cache-persistence path under a per-case {!Faults} plan derived
+          from this seed (disk-full and silent-corruption injections); a
+          violated persistence invariant fails the case under the oracle
+          name ["fault-persistence"] *)
 }
 
 val default_devices : (string * Arch.Coupling.t) list
@@ -28,7 +34,7 @@ val default_devices : (string * Arch.Coupling.t) list
 val default_config : config
 (** 200 cases, seed 7, max 5 qubits, {!default_devices},
     superconducting durations, sim bound 10, shrink budget 300, no
-    corpus directory. *)
+    corpus directory, no fault injection. *)
 
 type case_failure = {
   index : int;

@@ -87,7 +87,14 @@ let map t f tasks =
     if t.stopping then invalid_arg "Pool.map: pool is shut down";
     let results = Array.make n None in
     let run i =
-      try Ok (f i tasks.(i))
+      try
+        (* fault points at the task boundary: an injected exception is
+           indistinguishable from a task that raised (the caller's
+           lowest-index propagation contract applies), injected latency
+           perturbs scheduling without touching results *)
+        Faults.raise_if Faults.Pool_task_exn "pool task";
+        Faults.pause Faults.Pool_latency;
+        Ok (f i tasks.(i))
       with e -> Error (e, Printexc.get_raw_backtrace ())
     in
     if t.jobs = 1 || n = 1 then

@@ -1,6 +1,11 @@
 (* Minimal blocking client for the daemon: connect, one request line out,
    one reply line in. Used by `codar_cli client`, the smoke scripts and the
-   service tests. *)
+   service tests.
+
+   [request_with_retry] adds the overload protocol's client half: an
+   ["overloaded"] reply is the daemon shedding load, and the polite
+   response is seeded-jitter exponential backoff — deterministic per
+   seed, so the retry schedule itself is testable. *)
 
 type t = { fd : Unix.file_descr; reader : Frame.reader }
 
@@ -19,6 +24,7 @@ let recv_line t =
   | `Line l -> Some l
   | `Eof -> None
   | `Oversized -> failwith "Service.Client: reply exceeds the frame limit"
+  | `Timeout -> assert false (* no timeout_s passed *)
 
 let request t line =
   send_line t line;
@@ -31,3 +37,39 @@ let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 let with_connection ?max_reply_bytes path f =
   let t = connect ?max_reply_bytes path in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* ------------------------------------------------------------- retries *)
+
+let overloaded_reply line =
+  match Report.Json.parse line with
+  | Error _ -> false
+  | Ok j -> (
+    match Report.Json.member "code" j with
+    | Some (Report.Json.String "overloaded") -> true
+    | Some _ | None -> false)
+
+(* Retry [k] (0-based) backs off [base * 2^k] ms plus a jitter drawn
+   uniformly from [0, base * 2^k] by the SplitMix64 mixer — full
+   determinism from (seed, k), full decorrelation across clients that
+   pick different seeds. *)
+let retry_delays_ms ~attempts ~base_delay_ms ~seed =
+  if attempts < 0 then invalid_arg "Client.retry_delays_ms: attempts < 0";
+  if base_delay_ms < 1 then
+    invalid_arg "Client.retry_delays_ms: base_delay_ms < 1";
+  List.init attempts (fun k ->
+      let step = base_delay_ms * (1 lsl min k 16) in
+      let jitter = Faults.mix ~seed ~index:k mod (step + 1) in
+      step + jitter)
+
+let request_with_retry ?(attempts = 5) ?(base_delay_ms = 5) ?(seed = 0) t line
+    =
+  let delays = retry_delays_ms ~attempts ~base_delay_ms ~seed in
+  let rec go delays =
+    let reply = request t line in
+    match delays with
+    | delay :: rest when overloaded_reply reply ->
+      Thread.delay (float_of_int delay /. 1000.);
+      go rest
+    | _ -> reply
+  in
+  go delays

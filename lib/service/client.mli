@@ -18,6 +18,22 @@ val recv_line : t -> string option
 val request : t -> string -> string
 (** [send_line] then [recv_line]; fails if the server hangs up first. *)
 
+val request_with_retry :
+  ?attempts:int -> ?base_delay_ms:int -> ?seed:int -> t -> string -> string
+(** {!request}, retried on an ["overloaded"] reply: up to [attempts]
+    (default 5) extra tries, sleeping per {!retry_delays_ms} (default
+    base 5 ms, seed 0) between them. Returns the last reply — still
+    ["overloaded"] when the daemon never had room. Every other reply,
+    including errors, returns immediately. *)
+
+val retry_delays_ms :
+  attempts:int -> base_delay_ms:int -> seed:int -> int list
+(** The deterministic backoff schedule [request_with_retry] sleeps:
+    retry [k] waits [base·2ᵏ + jitter(seed, k)] ms with the jitter
+    uniform in [\[0, base·2ᵏ\]] via {!Faults.mix}. Pure — the
+    determinism test pins it. Raises [Invalid_argument] on a negative
+    [attempts] or a [base_delay_ms < 1]. *)
+
 val close : t -> unit
 
 val with_connection : ?max_reply_bytes:int -> string -> (t -> 'a) -> 'a

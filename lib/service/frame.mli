@@ -7,16 +7,29 @@ val default_max_bytes : int
 (** 8 MiB — generous for inline-QASM requests, small enough that a
     newline-less abuser cannot balloon the daemon. *)
 
-val reader : ?max_bytes:int -> Unix.file_descr -> reader
+val reader : ?max_bytes:int -> ?inject:bool -> Unix.file_descr -> reader
 (** Buffered line reader. The limit applies to a single frame and is
-    enforced while buffering, not after. *)
+    enforced while buffering, not after. [inject] (default [false])
+    opts this reader into the armed {!Faults} plan — short reads,
+    mid-frame EOF, read stalls; the daemon sets it, clients do not. *)
 
-val read : reader -> [ `Line of string | `Eof | `Oversized ]
+val read :
+  ?timeout_s:float ->
+  reader ->
+  [ `Line of string | `Eof | `Oversized | `Timeout ]
 (** Next frame, without its newline. A non-empty unterminated trailer
     before EOF is yielded as a final [`Line]. Connection-reset errors
     read as [`Eof]; [`Oversized] poisons the reader (framing is lost —
-    the caller should answer and drop the connection). *)
+    the caller should answer and drop the connection).
 
-val write : Unix.file_descr -> string -> unit
+    [timeout_s] bounds how long a {e partially received} frame may take
+    to complete, measured from its first buffered byte; an idle
+    connection with no pending bytes waits forever. On expiry the read
+    returns [`Timeout] — also framing-poisoning, since the peer's
+    unfinished bytes are abandoned in the buffer. *)
+
+val write : ?inject:bool -> Unix.file_descr -> string -> unit
 (** Write [line + "\n"] fully. Raises [Unix.Unix_error] (e.g. [EPIPE])
-    when the peer is gone. *)
+    when the peer is gone. [inject] (default [false]) opts the write
+    into the armed {!Faults} plan's {!Faults.point}[.Frame_write_error]
+    point, which raises the same [EPIPE] a vanished client would. *)

@@ -43,6 +43,8 @@ type error_code =
   | Oversized
   | Route_failed
   | Io
+  | Deadline_exceeded
+  | Overloaded
 
 let error_code_to_string = function
   | Parse -> "parse"
@@ -51,6 +53,8 @@ let error_code_to_string = function
   | Oversized -> "oversized"
   | Route_failed -> "route_failed"
   | Io -> "io"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Overloaded -> "overloaded"
 
 let error_code_of_string = function
   | "parse" -> Some Parse
@@ -59,6 +63,8 @@ let error_code_of_string = function
   | "oversized" -> Some Oversized
   | "route_failed" -> Some Route_failed
   | "io" -> Some Io
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "overloaded" -> Some Overloaded
   | _ -> None
 
 (* ------------------------------------------------------------- decoding *)
@@ -263,4 +269,6 @@ let service_counters_to_json (s : Codar.Stats.service) =
       ("coalesced", Json.Int s.Codar.Stats.coalesced);
       ("connections", Json.Int s.Codar.Stats.connections);
       ("disconnects", Json.Int s.Codar.Stats.disconnects);
+      ("timeouts", Json.Int s.Codar.Stats.timeouts);
+      ("overloads", Json.Int s.Codar.Stats.overloads);
     ]

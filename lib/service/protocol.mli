@@ -41,6 +41,12 @@ type error_code =
   | Oversized  (** frame exceeded the daemon's request size limit *)
   | Route_failed  (** the router raised on this request *)
   | Io  (** cache file save/load failure *)
+  | Deadline_exceeded
+      (** the request outlived the daemon's [--timeout-ms]: a stalled
+          mid-frame client, or a route that waited or computed too long *)
+  | Overloaded
+      (** the dispatch queue was full on arrival; retry with backoff
+          ({!Client.request_with_retry}) *)
 
 val error_code_to_string : error_code -> string
 val error_code_of_string : string -> error_code option

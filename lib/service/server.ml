@@ -9,7 +9,9 @@
    - The dispatcher thread is the only caller of [Pool.map] (the pool's
      contract: driven from one place). It drains the queue in batches of
      up to [jobs], routes them in parallel, publishes outcomes and
-     broadcasts.
+     broadcasts. A pool-level failure (e.g. an injected task exception
+     propagating out of [Pool.map]) fails that batch with typed errors;
+     it does not kill the dispatcher.
    - Duplicate fingerprints coalesce: a route request that finds its
      fingerprint in [inflight] does not enqueue a second job — it waits on
      the first's [pending] and is counted in [svc.coalesced]. Together
@@ -18,6 +20,21 @@
    - One mutex [m] guards queue + inflight + counters + connection
      registry; the cache has its own lock (always acquired after [m],
      never the reverse, so the order is acyclic).
+
+   Robustness (docs/ROBUSTNESS.md):
+
+   - Admission control: a route request arriving at a full queue is
+     answered [overloaded] immediately instead of blocking its
+     connection thread — the daemon sheds load; clients back off
+     ([Client.request_with_retry]).
+   - Deadlines: with [timeout_ms] set, a request frame that stalls
+     mid-transmission and a route that waits or computes too long are
+     both answered [deadline_exceeded]. A dedicated ticker thread
+     broadcasts [cond] periodically so waiters can notice expiry
+     (stdlib [Condition] has no timed wait).
+   - Graceful drain: with [handle_signals] set, SIGTERM/SIGINT stop the
+     accept loop, let in-flight work finish, persist the cache and
+     return normally (exit 0 in the CLI).
 
    Degradation: malformed frames get an error reply; an oversized frame
    gets an error reply and the connection dropped (framing is lost);
@@ -37,14 +54,20 @@ type config = {
   max_request_bytes : int;
   queue_capacity : int;
   backlog : int;
+  timeout_ms : int option;
+  handle_signals : bool;
   on_route_start : (string -> unit) option;
 }
 
 let config ?(jobs = 1) ?(cache_entries = 1024) ?cache_bytes ?cache_file
     ?(max_request_bytes = Frame.default_max_bytes) ?(queue_capacity = 64)
-    ?(backlog = 64) ?on_route_start ~socket_path () =
+    ?(backlog = 64) ?timeout_ms ?(handle_signals = false) ?on_route_start
+    ~socket_path () =
   if jobs < 1 then invalid_arg "Server.config: jobs < 1";
   if queue_capacity < 1 then invalid_arg "Server.config: queue_capacity < 1";
+  (match timeout_ms with
+  | Some ms when ms < 1 -> invalid_arg "Server.config: timeout_ms < 1"
+  | Some _ | None -> ());
   {
     socket_path;
     jobs;
@@ -54,6 +77,8 @@ let config ?(jobs = 1) ?(cache_entries = 1024) ?cache_bytes ?cache_file
     max_request_bytes;
     queue_capacity;
     backlog;
+    timeout_ms;
+    handle_signals;
     on_route_start;
   }
 
@@ -72,6 +97,7 @@ type state = {
   jobq : pending Queue.t;
   inflight : (string, pending) Hashtbl.t;
   mutable stop : bool;
+  mutable term : bool; (* set (only) by the signal handler *)
   mutable conns : Unix.file_descr list;
   mutable active : int;
   listen_fd : Unix.file_descr;
@@ -86,14 +112,21 @@ let locked st f =
 
 let dispatch_batch st batch =
   let results =
-    Pool.map st.pool
-      (fun _ p ->
-        (match st.cfg.on_route_start with
-        | Some hook -> hook p.fp
-        | None -> ());
-        try Ok (fst (Engine.route p.spec))
-        with e -> Error (Printexc.to_string e))
-      batch
+    try
+      Pool.map st.pool
+        (fun _ p ->
+          (match st.cfg.on_route_start with
+          | Some hook -> hook p.fp
+          | None -> ());
+          try Ok (fst (Engine.route p.spec))
+          with e -> Error (Printexc.to_string e))
+        batch
+    with e ->
+      (* the pool itself failed (injected task exception, shut-down pool):
+         every job of the batch gets a typed failure, the dispatcher
+         lives on *)
+      let msg = "pool failure: " ^ Printexc.to_string e in
+      Array.map (fun _ -> Error msg) batch
   in
   locked st (fun () ->
       Array.iteri
@@ -133,7 +166,7 @@ let dispatcher st =
   in
   try loop ()
   with e ->
-    (* Should not happen (tasks catch their own exceptions), but never
+    (* Should not happen (dispatch_batch contains pool failures), but never
        leave waiters hanging: fail everything outstanding. *)
     let msg = "dispatcher crashed: " ^ Printexc.to_string e in
     locked st (fun () ->
@@ -144,6 +177,24 @@ let dispatcher st =
         Queue.clear st.jobq;
         st.stop <- true;
         Condition.broadcast st.cond)
+
+(* The stdlib Condition has no timed wait; when deadlines are configured
+   this thread broadcasts periodically so deadline-checking waiters get a
+   chance to notice expiry. *)
+let ticker st =
+  let period =
+    match st.cfg.timeout_ms with
+    | Some ms -> Float.min 0.05 (float_of_int ms /. 1000. /. 4.)
+    | None -> 0.05
+  in
+  let rec loop () =
+    if not (locked st (fun () -> st.stop)) then begin
+      Thread.delay period;
+      locked st (fun () -> Condition.broadcast st.cond);
+      loop ()
+    end
+  in
+  loop ()
 
 (* ------------------------------------------------------------- requests *)
 
@@ -178,13 +229,13 @@ let route_item st (rr : Protocol.route_req) =
                   st.svc.Codar.Stats.coalesced + 1;
                 `Wait p
               | None ->
-                while
-                  Queue.length st.jobq >= st.cfg.queue_capacity
-                  && not st.stop
-                do
-                  Condition.wait st.cond st.m
-                done;
-                if st.stop then `Stopping
+                (* admission control: a full queue is an immediate typed
+                   refusal, not a blocked connection thread *)
+                if Queue.length st.jobq >= st.cfg.queue_capacity then begin
+                  st.svc.Codar.Stats.overloads <-
+                    st.svc.Codar.Stats.overloads + 1;
+                  `Overloaded
+                end
                 else begin
                   let p = { fp; spec; outcome = None } in
                   Hashtbl.add st.inflight fp p;
@@ -197,17 +248,42 @@ let route_item st (rr : Protocol.route_req) =
     match resolution with
     | `Hit record -> item_ok ~fingerprint:fp record
     | `Stopping -> item_err Protocol.Io "server is shutting down"
+    | `Overloaded ->
+      item_err Protocol.Overloaded
+        (Printf.sprintf "dispatch queue is full (capacity %d); retry with backoff"
+           st.cfg.queue_capacity)
     | `Wait p -> (
+      let deadline =
+        Option.map
+          (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+          st.cfg.timeout_ms
+      in
       let outcome =
         locked st (fun () ->
-            while p.outcome = None do
-              Condition.wait st.cond st.m
-            done;
-            Option.get p.outcome)
+            let rec wait () =
+              match p.outcome with
+              | Some o -> Some o
+              | None -> (
+                match deadline with
+                | Some d when Unix.gettimeofday () >= d ->
+                  st.svc.Codar.Stats.timeouts <-
+                    st.svc.Codar.Stats.timeouts + 1;
+                  None
+                | Some _ | None ->
+                  Condition.wait st.cond st.m;
+                  wait ())
+            in
+            wait ())
       in
       match outcome with
-      | Ok record -> item_ok ~fingerprint:fp record
-      | Error msg -> item_err Protocol.Route_failed msg))
+      | None ->
+        (* the job itself keeps running and will land in the cache; only
+           this waiter gives up *)
+        item_err Protocol.Deadline_exceeded
+          (Printf.sprintf "route exceeded the %d ms deadline"
+             (Option.value st.cfg.timeout_ms ~default:0))
+      | Some (Ok record) -> item_ok ~fingerprint:fp record
+      | Some (Error msg) -> item_err Protocol.Route_failed msg))
 
 let cache_info_json st =
   locked st (fun () ->
@@ -264,7 +340,7 @@ let handle_cache st ?id action =
         Cache.load ?max_bytes:st.cfg.cache_bytes
           ~max_entries:st.cfg.cache_entries path
       with
-      | Error msg -> `Error (Protocol.Io, msg)
+      | Error e -> `Error (Protocol.Io, Cache.load_error_to_string e)
       | Ok cache ->
         locked st (fun () -> st.cache <- cache);
         `Reply
@@ -302,10 +378,16 @@ let handle_request st ?id req =
           ( Protocol.service_counters_to_json st.svc,
             Protocol.cache_counters_to_json (Cache.counters st.cache) ))
     in
+    let faults =
+      (* per-point injected-fault counts of the armed plan; an empty
+         object when no plan is armed *)
+      Json.Obj (List.map (fun (n, c) -> (n, Json.Int c)) (Faults.fired ()))
+    in
     ( Protocol.ok_frame ?id ~op:"stats"
         [
           ("service", svc);
           ("cache", cache_counters);
+          ("faults", faults);
           ("jobs", Json.Int st.cfg.jobs);
         ],
       `Keep )
@@ -330,9 +412,9 @@ let handle_request st ?id req =
       in
       (Protocol.error_frame ?id code msg, `Keep))
   | Protocol.Batch rrs ->
-    (* Resolution and waiting happen per item; items keep their order. A
-       batch bigger than the queue capacity still completes: the enqueue
-       loop blocks for space while the dispatcher drains. *)
+    (* Resolution and waiting happen per item; items keep their order.
+       Under admission control a batch bigger than the queue's free space
+       sees [overloaded] items rather than blocking the connection. *)
     let items = List.map (route_item st) rrs in
     ( Protocol.ok_frame ?id ~op:"batch" [ ("results", Json.List items) ],
       `Keep )
@@ -354,9 +436,14 @@ let count_reply st ok =
           st.svc.Codar.Stats.responses_err + 1)
 
 let handle_connection st fd =
-  let reader = Frame.reader ~max_bytes:st.cfg.max_request_bytes fd in
+  let reader =
+    Frame.reader ~max_bytes:st.cfg.max_request_bytes ~inject:true fd
+  in
+  let timeout_s =
+    Option.map (fun ms -> float_of_int ms /. 1000.) st.cfg.timeout_ms
+  in
   let send frame ~ok =
-    match Frame.write fd frame with
+    match Frame.write ~inject:true fd frame with
     | () ->
       count_reply st ok;
       true
@@ -366,8 +453,17 @@ let handle_connection st fd =
       false
   in
   let rec loop () =
-    match Frame.read reader with
+    match Frame.read ?timeout_s reader with
     | `Eof -> ()
+    | `Timeout ->
+      (* stalled mid-frame: answer, count, drop (framing is suspect) *)
+      locked st (fun () ->
+          st.svc.Codar.Stats.timeouts <- st.svc.Codar.Stats.timeouts + 1);
+      ignore
+        (send ~ok:false
+           (Protocol.error_frame Protocol.Deadline_exceeded
+              (Printf.sprintf "request frame not completed within %d ms"
+                 (Option.value st.cfg.timeout_ms ~default:0))))
     | `Oversized ->
       ignore
         (send ~ok:false
@@ -411,8 +507,11 @@ let run ?on_ready cfg =
           path
       with
       | Ok c -> c
-      | Error msg ->
-        Printf.eprintf "codar serve: ignoring cache file %s: %s\n%!" path msg;
+      | Error e ->
+        (* a corrupt or unreadable persistence file is a warning and a
+           cold start, never a refusal to serve *)
+        Printf.eprintf "codar serve: ignoring cache file %s: %s\n%!" path
+          (Cache.load_error_to_string e);
         Cache.create ?max_bytes:cfg.cache_bytes ~max_entries:cfg.cache_entries
           ())
     | Some _ | None ->
@@ -440,13 +539,35 @@ let run ?on_ready cfg =
       jobq = Queue.create ();
       inflight = Hashtbl.create 16;
       stop = false;
+      term = false;
       conns = [];
       active = 0;
       listen_fd;
       pool = Pool.create ~jobs:cfg.jobs;
     }
   in
+  if cfg.handle_signals then begin
+    (* The handler body runs at an OCaml safepoint but possibly on a
+       thread that holds [st.m], so it must stay lock-free: set the flag
+       and break [accept] with a syscall; the accept loop does the
+       orderly [initiate_stop]. *)
+    let handler _ =
+      st.term <- true;
+      try Unix.shutdown st.listen_fd Unix.SHUTDOWN_ALL
+      with Unix.Unix_error _ -> ()
+    in
+    List.iter
+      (fun s ->
+        try Sys.set_signal s (Sys.Signal_handle handler)
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigterm; Sys.sigint ]
+  end;
   let dispatcher_thread = Thread.create dispatcher st in
+  let ticker_thread =
+    match cfg.timeout_ms with
+    | Some _ -> Some (Thread.create ticker st)
+    | None -> None
+  in
   (match on_ready with Some f -> f () | None -> ());
   let rec accept_loop () =
     match Unix.accept listen_fd with
@@ -458,7 +579,11 @@ let run ?on_ready cfg =
             st.svc.Codar.Stats.connections + 1);
       ignore (Thread.create (handle_connection st) fd);
       accept_loop ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if st.term then initiate_stop st else accept_loop ()
+    | exception Unix.Unix_error _ when st.term ->
+      (* SIGTERM/SIGINT: stop accepting, drain, persist, return *)
+      initiate_stop st
     | exception Unix.Unix_error _ when locked st (fun () -> st.stop) -> ()
     | exception Unix.Unix_error (e, _, _) ->
       (* unexpected accept failure: shut down rather than spin *)
@@ -475,6 +600,7 @@ let run ?on_ready cfg =
       done;
       Condition.broadcast st.cond);
   Thread.join dispatcher_thread;
+  Option.iter Thread.join ticker_thread;
   Pool.shutdown st.pool;
   (match cfg.cache_file with
   | Some path -> (

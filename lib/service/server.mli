@@ -2,8 +2,8 @@
     routes {!Protocol} requests onto the existing {!Pool}, answering from
     a content-addressed {!Cache} when it can.
 
-    Guarantees (asserted by test/test_service.ml and the service-smoke
-    rule):
+    Guarantees (asserted by test/test_service.ml, test/test_faults.ml and
+    the service-smoke / fault-smoke rules):
 
     - {b Byte-identical replay} — a cache hit replies with exactly the
       bytes of the cold route reply for the same request content.
@@ -13,12 +13,26 @@
       {!Codar.Stats.cache}[.insertions]) prove it.
     - {b Graceful degradation} — malformed frames, oversized frames,
       unknown ops, router failures and clients that vanish mid-reply are
-      answered, dropped or counted; none of them kill the daemon.
+      answered, dropped or counted; none of them kill the daemon. Under
+      an armed {!Faults} plan the same holds for injected short reads,
+      mid-frame EOFs, stalls, write errors, pool task exceptions and
+      persistence faults.
+    - {b Admission control} — a route request that finds the job queue
+      full is refused with the typed [overloaded] error instead of
+      blocking its connection thread; {!Client.request_with_retry}
+      implements the client half (seeded-jitter backoff).
+    - {b Deadlines} — with [timeout_ms] set, a request frame stalled
+      mid-transmission or a route that waits/computes past the deadline
+      is answered [deadline_exceeded]; neither blocks other connections.
+    - {b Graceful drain} — with [handle_signals] set, SIGTERM/SIGINT stop
+      the accept loop, finish in-flight work, persist the cache when
+      configured and make {!run} return normally (exit 0 in the CLI).
 
-    Threading: one thread per connection, plus a single dispatcher thread
-    that owns the Domain pool and drains a bounded job queue in batches.
-    Connection threads block for queue space (back-pressure) rather than
-    growing an unbounded backlog. *)
+    Threading: one thread per connection, a single dispatcher thread that
+    owns the Domain pool and drains a bounded job queue in batches, and —
+    only when [timeout_ms] is set — a ticker thread that periodically
+    broadcasts the condition variable so deadline waiters can observe
+    expiry (the stdlib [Condition] has no timed wait). *)
 
 type config = private {
   socket_path : string;
@@ -31,6 +45,12 @@ type config = private {
   max_request_bytes : int;
   queue_capacity : int;  (** bound on not-yet-dispatched routing jobs *)
   backlog : int;
+  timeout_ms : int option;
+      (** per-request deadline: bounds both mid-frame read stalls and the
+          wait for a routing outcome; [None] (default) waits forever *)
+  handle_signals : bool;
+      (** install SIGTERM/SIGINT handlers that drain gracefully; off by
+          default so in-process tests keep their signal dispositions *)
   on_route_start : (string -> unit) option;
       (** test hook, called with the fingerprint as each routing job
           starts (possibly from a pool domain) *)
@@ -44,17 +64,23 @@ val config :
   ?max_request_bytes:int ->
   ?queue_capacity:int ->
   ?backlog:int ->
+  ?timeout_ms:int ->
+  ?handle_signals:bool ->
   ?on_route_start:(string -> unit) ->
   socket_path:string ->
   unit ->
   config
 (** Defaults: 1 job, 1024 cache entries, no byte cap, no cache file,
-    {!Frame.default_max_bytes}, queue capacity 64, backlog 64. *)
+    {!Frame.default_max_bytes}, queue capacity 64, backlog 64, no
+    deadline, no signal handling. Raises [Invalid_argument] on [jobs < 1],
+    [queue_capacity < 1] or [timeout_ms < 1]. *)
 
 val run : ?on_ready:(unit -> unit) -> config -> Codar.Stats.service
 (** Bind (unlinking a stale socket file first), serve until a [shutdown]
-    request, then drain in-flight work, join every connection, persist
-    the cache when configured, unlink the socket and return the final
-    service counters. [on_ready] fires once the socket is listening
-    (tests start their clients from it). Raises [Unix.Unix_error] when
-    the socket cannot be bound. *)
+    request (or, with [handle_signals], SIGTERM/SIGINT), then drain
+    in-flight work, join every connection, persist the cache when
+    configured, unlink the socket and return the final service counters.
+    A corrupt or truncated cache file at startup logs a warning to stderr
+    and starts cold — it never prevents serving. [on_ready] fires once
+    the socket is listening (tests start their clients from it). Raises
+    [Unix.Unix_error] when the socket cannot be bound. *)

@@ -1,0 +1,139 @@
+#!/bin/sh
+# Crash-recovery drill for the daemon's persistence path, end to end
+# through the real CLI binary (docs/ROBUSTNESS.md):
+#
+#   1. SIGTERM drain: the daemon exits 0, writes a checksummed cache
+#      snapshot, and a restarted daemon replays the cached route
+#      byte-identically.
+#   2. kill -9 mid-persist: under the persist-crash fault profile every
+#      cache save stalls between fsync and rename; killing the daemon
+#      there must leave the previous snapshot byte-intact (the atomic
+#      write-to-temp + rename discipline).
+#   3. Corrupt and truncated snapshots: a restarted daemon logs a warning,
+#      starts cold and still serves.
+#
+# Usage: crash_recovery.sh path/to/codar_cli.exe
+set -eu
+
+CLI=$1
+SOCK=$(mktemp -u /tmp/codar-crash-XXXXXX).sock
+DIR=$(mktemp -d)
+CACHE="$DIR/cache.json"
+trap 'kill -9 $SERVER_PID 2>/dev/null || true; rm -rf "$DIR" "$SOCK"' EXIT
+
+wait_sock() {
+  i=0
+  while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "FAIL: daemon never bound $SOCK" >&2
+      cat "$DIR/serve.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+# ---------------------------------------------------------- 1. SIGTERM drain
+
+"$CLI" serve --socket "$SOCK" --jobs 2 --cache-file "$CACHE" \
+  > "$DIR/serve.log" 2>&1 &
+SERVER_PID=$!
+wait_sock
+
+"$CLI" client --socket "$SOCK" route -b qft_4 --restarts 2 > "$DIR/cold.json"
+grep -q '"ok":true' "$DIR/cold.json"
+
+kill -TERM $SERVER_PID
+# graceful drain: exit status 0, not a signal death
+if ! wait $SERVER_PID; then
+  echo "FAIL: SIGTERM drain did not exit 0" >&2
+  cat "$DIR/serve.log" >&2
+  exit 1
+fi
+
+[ -f "$CACHE" ] || { echo "FAIL: no cache snapshot after drain" >&2; exit 1; }
+head -c 17 "$CACHE" | grep -q 'codar-cache-sum/1' \
+  || { echo "FAIL: snapshot lacks the checksum header" >&2; exit 1; }
+
+# restart: the warm reply must be byte-identical to the pre-crash cold one
+"$CLI" serve --socket "$SOCK" --jobs 2 --cache-file "$CACHE" \
+  > "$DIR/serve2.log" 2>&1 &
+SERVER_PID=$!
+wait_sock
+"$CLI" client --socket "$SOCK" route -b qft_4 --restarts 2 > "$DIR/warm.json"
+cmp "$DIR/cold.json" "$DIR/warm.json"
+"$CLI" client --socket "$SOCK" stats > "$DIR/stats.json"
+grep -q '"routes_computed":0' "$DIR/stats.json"
+grep -q '"hits":1' "$DIR/stats.json"
+"$CLI" client --socket "$SOCK" shutdown > /dev/null
+wait $SERVER_PID || true
+
+# ------------------------------------------------------ 2. kill -9 mid-save
+
+cp "$CACHE" "$DIR/snapshot.before"
+
+"$CLI" serve --socket "$SOCK" --jobs 2 --cache-file "$CACHE" \
+  --faults 1 --fault-profile persist-crash > "$DIR/serve3.log" 2>&1 &
+SERVER_PID=$!
+wait_sock
+
+# make the in-memory cache differ from the snapshot, then ask for a save;
+# the persist-crash profile stalls every save for 3 s between fsync and
+# rename, which is where we kill the daemon dead
+"$CLI" client --socket "$SOCK" route -b ghz_8 --restarts 2 > /dev/null
+"$CLI" client --socket "$SOCK" cache-save > /dev/null 2>&1 &
+SAVER_PID=$!
+sleep 1
+kill -9 $SERVER_PID
+wait $SAVER_PID 2>/dev/null || true
+wait $SERVER_PID 2>/dev/null || true
+
+# the previous snapshot survived the crash byte-intact
+cmp "$CACHE" "$DIR/snapshot.before" \
+  || { echo "FAIL: crashed save damaged the snapshot" >&2; exit 1; }
+rm -f "$SOCK" "$CACHE".tmp.*
+
+# and it still loads: the restarted daemon replays qft_4 warm
+"$CLI" serve --socket "$SOCK" --jobs 2 --cache-file "$CACHE" \
+  > "$DIR/serve4.log" 2>&1 &
+SERVER_PID=$!
+wait_sock
+"$CLI" client --socket "$SOCK" route -b qft_4 --restarts 2 > "$DIR/warm2.json"
+cmp "$DIR/cold.json" "$DIR/warm2.json"
+"$CLI" client --socket "$SOCK" shutdown > /dev/null
+wait $SERVER_PID || true
+
+# --------------------------------------- 3. corrupt / truncated snapshots
+
+# flip one payload byte: checksum mismatch, warning, cold start, still serves
+cp "$DIR/snapshot.before" "$CACHE"
+SIZE=$(wc -c < "$CACHE")
+MID=$((SIZE / 2))
+dd if=/dev/zero of="$CACHE" bs=1 seek="$MID" count=1 conv=notrunc 2>/dev/null
+"$CLI" serve --socket "$SOCK" --jobs 2 --cache-file "$CACHE" \
+  > "$DIR/serve5.log" 2>&1 &
+SERVER_PID=$!
+wait_sock
+grep -q 'ignoring cache file' "$DIR/serve5.log" \
+  || { echo "FAIL: corrupt snapshot not warned about" >&2; exit 1; }
+"$CLI" client --socket "$SOCK" route -b qft_4 --restarts 2 > "$DIR/cold2.json"
+grep -q '"ok":true' "$DIR/cold2.json"
+"$CLI" client --socket "$SOCK" shutdown > /dev/null
+wait $SERVER_PID || true
+
+# truncate the snapshot: same cold-start behaviour
+cp "$DIR/snapshot.before" "$CACHE"
+head -c $((SIZE - 20)) "$DIR/snapshot.before" > "$CACHE"
+"$CLI" serve --socket "$SOCK" --jobs 2 --cache-file "$CACHE" \
+  > "$DIR/serve6.log" 2>&1 &
+SERVER_PID=$!
+wait_sock
+grep -q 'ignoring cache file' "$DIR/serve6.log" \
+  || { echo "FAIL: truncated snapshot not warned about" >&2; exit 1; }
+"$CLI" client --socket "$SOCK" ping > "$DIR/ping.json"
+grep -q '"ok":true' "$DIR/ping.json"
+"$CLI" client --socket "$SOCK" shutdown > /dev/null
+wait $SERVER_PID || true
+
+echo "crash recovery: OK"

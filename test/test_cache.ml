@@ -225,7 +225,7 @@ let test_persistence_round_trip () =
     (fun () ->
       Cache.save t path;
       match Cache.load ~max_entries:8 path with
-      | Error msg -> Alcotest.failf "load: %s" msg
+      | Error e -> Alcotest.failf "load: %s" (Cache.load_error_to_string e)
       | Ok t' ->
         Alcotest.(check int) "entries survive" 2 (Cache.length t');
         counters_check t' ~hits:0 ~misses:0 ~insertions:0 ~evictions:0
@@ -246,12 +246,105 @@ let test_persistence_round_trip () =
     (fun () ->
       Cache.save t path2;
       match Cache.load ~max_entries:1 path2 with
-      | Error msg -> Alcotest.failf "truncating load: %s" msg
+      | Error e ->
+        Alcotest.failf "truncating load: %s" (Cache.load_error_to_string e)
       | Ok small ->
         Alcotest.(check int) "truncated to cap" 1 (Cache.length small);
         Alcotest.(check bool)
           "the MRU entry is the one kept" true
           (Cache.find small "one" <> None))
+
+(* crash-safe persistence: the checksum header and the typed cold-start
+   paths for every way the file can be damaged *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let with_saved_cache f =
+  let r = Lazy.force r_qft4 in
+  let t = Cache.create ~max_entries:4 () in
+  Cache.add t "k" r;
+  let path = Filename.temp_file "codar-cache" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Cache.save t path;
+      f path)
+
+let test_save_writes_checksum_header () =
+  with_saved_cache (fun path ->
+      let contents = read_file path in
+      Alcotest.(check bool)
+        "file starts with the checksum magic" true
+        (String.length contents > 18
+        && String.sub contents 0 17 = "codar-cache-sum/1");
+      (* no temp file left behind by the atomic rename *)
+      let dir = Filename.dirname path in
+      let leftovers =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > String.length (Filename.basename path)
+               && String.sub f 0 (String.length (Filename.basename path))
+                  = Filename.basename path)
+      in
+      Alcotest.(check (list string)) "no .tmp leftovers" [] leftovers)
+
+let expect_corrupt name path =
+  match Cache.load ~max_entries:4 path with
+  | Error (Cache.Corrupt _) -> ()
+  | Error e ->
+    Alcotest.failf "%s: expected Corrupt, got %s" name
+      (Cache.load_error_to_string e)
+  | Ok _ -> Alcotest.failf "%s: damaged file must not load" name
+
+let test_load_detects_byte_flip () =
+  with_saved_cache (fun path ->
+      let contents = read_file path in
+      (* flip one payload byte, past the header line *)
+      let header_end = String.index contents '\n' + 1 in
+      let i = header_end + ((String.length contents - header_end) / 2) in
+      let b = Bytes.of_string contents in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+      write_file path (Bytes.to_string b);
+      expect_corrupt "byte flip" path)
+
+let test_load_detects_truncation () =
+  with_saved_cache (fun path ->
+      let contents = read_file path in
+      write_file path (String.sub contents 0 (String.length contents - 10));
+      expect_corrupt "truncation" path)
+
+let test_load_accepts_legacy_plain_json () =
+  (* pre-checksum snapshots have no header; they must still load *)
+  with_saved_cache (fun path ->
+      let contents = read_file path in
+      let header_end = String.index contents '\n' + 1 in
+      let payload =
+        String.sub contents header_end (String.length contents - header_end)
+      in
+      write_file path payload;
+      match Cache.load ~max_entries:4 path with
+      | Error e ->
+        Alcotest.failf "legacy load: %s" (Cache.load_error_to_string e)
+      | Ok t -> Alcotest.(check int) "legacy entries survive" 1 (Cache.length t))
+
+let test_load_rejects_empty_file () =
+  let path = Filename.temp_file "codar-cache" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      write_file path "";
+      match Cache.load ~max_entries:4 path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "empty file must not load")
 
 let test_load_rejects_garbage () =
   let path = Filename.temp_file "codar-cache" ".json" in
@@ -292,5 +385,15 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_persistence_round_trip;
           Alcotest.test_case "rejects garbage" `Quick test_load_rejects_garbage;
+          Alcotest.test_case "checksum header" `Quick
+            test_save_writes_checksum_header;
+          Alcotest.test_case "detects byte flip" `Quick
+            test_load_detects_byte_flip;
+          Alcotest.test_case "detects truncation" `Quick
+            test_load_detects_truncation;
+          Alcotest.test_case "legacy plain JSON loads" `Quick
+            test_load_accepts_legacy_plain_json;
+          Alcotest.test_case "rejects empty file" `Quick
+            test_load_rejects_empty_file;
         ] );
     ]
