@@ -585,6 +585,34 @@ let smoke () =
     routed.Schedule.Routed.makespan
     (Schedule.Routed.swap_count routed);
   Fmt.pr "smoke: %a@." Codar.Stats.pp stats;
+  (* incremental-scoring regression fence: the seed router performed 2140
+     full heuristic evaluations routing qft_16 on Tokyo (BENCH_PR3.json).
+     The delta-maintained scorer only evaluates Hfine for ties in the top
+     positive bucket; hold it to at least a 5x reduction so a revert to
+     scan-everything scoring fails runtest, not just the perf harness. *)
+  let circuit16 =
+    match Workloads.Suite.find "qft_16" with
+    | Some e -> Lazy.force e.circuit
+    | None -> Fmt.failwith "smoke: benchmark qft_16 missing"
+  in
+  let initial16 = Sabre.Initial_mapping.reverse_traversal ~maqam circuit16 in
+  let stats16 = Codar.Stats.create () in
+  let routed16 = Codar.Remapper.run ~stats:stats16 ~maqam ~initial:initial16 circuit16 in
+  (match Schedule.Verify.check_all ~maqam ~original:circuit16 routed16 with
+  | Ok () -> ()
+  | Error e ->
+    Fmt.failwith "smoke: qft_16 verify failed: %a" Schedule.Verify.pp_error e);
+  let eval_ceiling = 428 (* 2140 / 5 *) in
+  if stats16.Codar.Stats.heuristic_evals > eval_ceiling then
+    Fmt.failwith
+      "smoke: qft_16/tokyo took %d full heuristic evals (ceiling %d; seed \
+       did 2140) — incremental scoring regressed"
+      stats16.Codar.Stats.heuristic_evals eval_ceiling;
+  if stats16.Codar.Stats.swap_rescores = 0 then
+    Fmt.failwith "smoke: no incremental rescore recorded — scorer bypassed?";
+  Fmt.pr "smoke: qft_16 on tokyo: %d evals (ceiling %d), %d rescores@."
+    stats16.Codar.Stats.heuristic_evals eval_ceiling
+    stats16.Codar.Stats.swap_rescores;
   (* parallel path: the pool and the portfolio must agree with their
      sequential selves on every runtest *)
   let circuits =

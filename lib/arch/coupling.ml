@@ -5,27 +5,34 @@ type t = {
   adjm : Bytes.t;  (* n×n adjacency matrix, row-major: O(1) [adjacent] *)
   deg : int array;
   edges : (int * int) list;
-  dist : int array array;
+  dist : int array;
+      (* n×n all-pairs shortest paths, row-major ([a * n + b]); a single flat
+         array so the router hot path is one cache line away from a
+         distance, not two pointer hops. [unreachable_distance] (-1) marks
+         disconnected pairs: a sign test, unlike the former [max_int]
+         sentinel, can never poison the heuristic's additive arithmetic. *)
   diameter : int;
   coords : (float * float) array option;
 }
 
-let bfs_distances n adj src =
-  let dist = Array.make n max_int in
+let unreachable_distance = -1
+
+(* Fill row [src] of the flat matrix in place. *)
+let bfs_distances n adj dist src =
+  let base = src * n in
+  dist.(base + src) <- 0;
   let queue = Queue.create () in
-  dist.(src) <- 0;
   Queue.add src queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
     List.iter
       (fun v ->
-        if dist.(v) = max_int then begin
-          dist.(v) <- dist.(u) + 1;
+        if dist.(base + v) = unreachable_distance then begin
+          dist.(base + v) <- dist.(base + u) + 1;
           Queue.add v queue
         end)
       adj.(u)
-  done;
-  dist
+  done
 
 let make ?coords ~name ~n edge_list =
   if n < 0 then invalid_arg "Coupling.make: negative qubit count";
@@ -57,14 +64,12 @@ let make ?coords ~name ~n edge_list =
       Bytes.set adjm ((b * n) + a) '\001')
     edges;
   let deg = Array.map List.length adj in
-  let dist = Array.init n (fun src -> bfs_distances n adj src) in
+  let dist = Array.make (n * n) unreachable_distance in
+  for src = 0 to n - 1 do
+    bfs_distances n adj dist src
+  done;
   let diameter =
-    Array.fold_left
-      (fun acc row ->
-        Array.fold_left
-          (fun acc d -> if d <> max_int && d > acc then d else acc)
-          acc row)
-      0 dist
+    Array.fold_left (fun acc d -> if d > acc then d else acc) 0 dist
   in
   { name; n; adj; adjm; deg; edges; dist; diameter; coords }
 
@@ -74,15 +79,43 @@ let edges t = t.edges
 let neighbors t q = t.adj.(q)
 let degree t q = t.deg.(q)
 
+(* Both endpoints are validated: an out-of-range [a] would otherwise index a
+   wrong row of the flat tables (or escape into a bare [Bytes.get]
+   exception), turning a caller bug into silent garbage. *)
+let check_pair fn t a b =
+  if a < 0 || a >= t.n || b < 0 || b >= t.n then
+    invalid_arg (Fmt.str "Coupling.%s: qubit pair (%d,%d) out of range" fn a b)
+
 let adjacent t a b =
-  if b < 0 || b >= t.n then invalid_arg "Coupling.adjacent";
+  check_pair "adjacent" t a b;
   Bytes.get t.adjm ((a * t.n) + b) <> '\000'
 
-let distance t a b = t.dist.(a).(b)
+let reachable t a b =
+  check_pair "reachable" t a b;
+  t.dist.((a * t.n) + b) >= 0
+
+let distance t a b =
+  check_pair "distance" t a b;
+  let d = t.dist.((a * t.n) + b) in
+  if d < 0 then
+    invalid_arg
+      (Fmt.str
+         "Coupling.distance: qubits %d and %d lie in disconnected components"
+         a b)
+  else d
+
+let distance_table t = t.dist
 let diameter t = t.diameter
 
 let connected t =
-  t.n = 0 || Array.for_all (fun d -> d <> max_int) t.dist.(0)
+  if t.n = 0 then true
+  else begin
+    let ok = ref true in
+    for b = 0 to t.n - 1 do
+      if t.dist.(b) < 0 then ok := false
+    done;
+    !ok
+  end
 
 let coords t = t.coords
 let coord t q = Option.map (fun a -> a.(q)) t.coords

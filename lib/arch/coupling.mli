@@ -4,7 +4,13 @@
 
     Two-qubit gates may only execute on qubit pairs joined by an edge.
     Optional planar coordinates per qubit power CODAR's [Hfine] lattice
-    tiebreak. *)
+    tiebreak.
+
+    The distance matrix is stored as a single flat row-major [int array]
+    (see {!distance_table}) so the router hot path pays one bounds-checked
+    load per lookup instead of two pointer hops. Disconnected pairs are
+    encoded as {!unreachable_distance} (-1), a sentinel that cannot wrap
+    additive heuristic arithmetic the way the former [max_int] could. *)
 
 type t
 
@@ -27,15 +33,36 @@ val degree : t -> int -> int
 (** O(1): read from the precomputed degree array. *)
 
 val adjacent : t -> int -> int -> bool
-(** O(1): one probe of the precomputed adjacency matrix (router hot path). *)
+(** O(1): one probe of the precomputed adjacency matrix (router hot path).
+    Raises [Invalid_argument] if either endpoint is out of range (both ends
+    are validated — historically only the second was, letting a bad first
+    index read the wrong matrix row). *)
 
 val distance : t -> int -> int -> int
-(** Shortest path length in edges; [max_int] when disconnected. *)
+(** Shortest path length in edges. Raises [Invalid_argument] if either
+    endpoint is out of range {e or the pair is unreachable} (disconnected
+    components): callers that can face disconnected devices must guard with
+    {!reachable} first. Never returns a sentinel — the former [max_int]
+    convention wrapped to garbage inside heuristic arithmetic. *)
+
+val reachable : t -> int -> int -> bool
+(** [reachable t a b] is [true] iff a path joins [a] and [b] (every qubit is
+    reachable from itself). Raises [Invalid_argument] when out of range. *)
+
+val unreachable_distance : int
+(** The sentinel (-1) marking disconnected pairs inside {!distance_table}.
+    Strictly negative, so [d >= 0] is the reachability test on raw rows. *)
+
+val distance_table : t -> int array
+(** The flat row-major [n*n] distance matrix itself: entry [a * n + b] is
+    the distance from [a] to [b], or {!unreachable_distance}. Exposed for
+    hot loops that index it directly (the incremental SWAP scorer); treat
+    it as read-only — it is the live table, not a copy. *)
 
 val diameter : t -> int
 (** O(1): the largest {e finite} pairwise distance, precomputed at
     {!make} time (0 for the empty or edgeless graph; disconnected pairs are
-    ignored rather than poisoning the value with [max_int]). *)
+    ignored rather than poisoning the value). *)
 
 val connected : t -> bool
 

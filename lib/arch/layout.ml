@@ -28,14 +28,19 @@ let phys_of_log t l = t.l2p.(l)
 
 let log_of_phys t p = if t.p2l.(p) = -1 then None else Some t.p2l.(p)
 
+let copy t = { l2p = Array.copy t.l2p; p2l = Array.copy t.p2l }
+
+let swap_physical_inplace t p1 p2 =
+  let l1 = t.p2l.(p1) and l2 = t.p2l.(p2) in
+  t.p2l.(p1) <- l2;
+  t.p2l.(p2) <- l1;
+  if l1 <> -1 then t.l2p.(l1) <- p2;
+  if l2 <> -1 then t.l2p.(l2) <- p1
+
 let swap_physical t p1 p2 =
-  let l2p = Array.copy t.l2p and p2l = Array.copy t.p2l in
-  let l1 = p2l.(p1) and l2 = p2l.(p2) in
-  p2l.(p1) <- l2;
-  p2l.(p2) <- l1;
-  if l1 <> -1 then l2p.(l1) <- p2;
-  if l2 <> -1 then l2p.(l2) <- p1;
-  { l2p; p2l }
+  let t' = copy t in
+  swap_physical_inplace t' p1 p2;
+  t'
 
 let to_array t = Array.copy t.l2p
 

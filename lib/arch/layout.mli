@@ -23,6 +23,15 @@ val log_of_phys : t -> int -> int option
 val swap_physical : t -> int -> int -> t
 (** Exchange whatever sits on the two physical qubits (pure). *)
 
+val copy : t -> t
+(** Independent mutable copy; mutations via {!swap_physical_inplace} on one
+    never show through the other. *)
+
+val swap_physical_inplace : t -> int -> int -> unit
+(** In-place {!swap_physical}, for owners of a private {!copy} (the router
+    applies thousands of SWAPs per route; the pure version's two array
+    copies per SWAP were measurable). *)
+
 val to_array : t -> int array
 (** Fresh copy of the logical→physical table. *)
 

@@ -1,7 +1,21 @@
+(* The router's CF tracker asks "do these gates commute?" once per
+   (predecessor, gate) slot pair — tens of thousands of times per route —
+   so both the structural rules and the cache-key construction are written
+   allocation-free for the unitary One/Two gate shapes. The generic
+   list-based fallback only runs for Barrier/Measure operands. *)
+
 let disjoint a b =
-  let qa = Gate.qubits a in
-  let qb = Gate.qubits b in
-  not (List.exists (fun q -> List.mem q qb) qa)
+  match (a, b) with
+  | Gate.One (_, p), Gate.One (_, q) -> p <> q
+  | Gate.One (_, p), Gate.Two (_, q1, q2)
+  | Gate.Two (_, q1, q2), Gate.One (_, p) ->
+    p <> q1 && p <> q2
+  | Gate.Two (_, p1, p2), Gate.Two (_, q1, q2) ->
+    p1 <> q1 && p1 <> q2 && p2 <> q1 && p2 <> q2
+  | _ ->
+    let qa = Gate.qubits a in
+    let qb = Gate.qubits b in
+    not (List.exists (fun q -> List.mem q qb) qa)
 
 let shared a b =
   let qb = Gate.qubits b in
@@ -21,7 +35,24 @@ let commutes_by_rule a b =
       (Gate.diagonal_on a q && Gate.diagonal_on b q)
       || (Gate.x_like_on a q && Gate.x_like_on b q)
     in
-    if List.for_all basis_match (shared a b) then Some true else None
+    (* [for_all basis_match (shared a b)] with a's (arity <= 2) operands
+       enumerated directly instead of materialising the intersection *)
+    let on_b q =
+      match b with
+      | Gate.One (_, p) -> q = p
+      | Gate.Two (_, p1, p2) -> q = p1 || q = p2
+      | Gate.Barrier _ | Gate.Measure _ -> List.mem q (Gate.qubits b)
+    in
+    let decided =
+      match a with
+      | Gate.One (_, p) -> (not (on_b p)) || basis_match p
+      | Gate.Two (_, p1, p2) ->
+        ((not (on_b p1)) || basis_match p1)
+        && ((not (on_b p2)) || basis_match p2)
+      | Gate.Barrier _ | Gate.Measure _ ->
+        List.for_all basis_match (shared a b)
+    in
+    if decided then Some true else None
 
 (* The exact fallback builds and multiplies up-to-8×8 matrices; routers ask
    the same structural question (e.g. "H then CX sharing a qubit") millions
@@ -29,17 +60,81 @@ let commutes_by_rule a b =
    (commutation is invariant under it). *)
 let cache : (Gate.t * Gate.t, bool) Hashtbl.t = Hashtbl.create 256
 
+(* Parameter-free gate pairs are fully determined by their kinds plus the
+   qubit-identification pattern, so their verdicts live in a flat int table
+   indexed by a packed key — no gate rebuilding, no structural hashing.
+   Parametrised kinds (angles change the answer) take the Hashtbl path. *)
+let pf_code g =
+  match g with
+  | Gate.One ((I | X | Y | Z | H | S | Sdg | T | Tdg) as k, _) -> (
+    match k with
+    | I -> 0
+    | X -> 1
+    | Y -> 2
+    | Z -> 3
+    | H -> 4
+    | S -> 5
+    | Sdg -> 6
+    | T -> 7
+    | Tdg -> 8
+    | _ -> assert false)
+  | Gate.Two (CX, _, _) -> 9
+  | Gate.Two (CZ, _, _) -> 10
+  | Gate.Two (Swap, _, _) -> 11
+  | _ -> -1
+
+let n_pf = 12
+
+(* kind_a * kind_b * (4 operand slots renamed to 0..3, 2 bits each) *)
+let pf_table = Array.make (n_pf * n_pf * 256) (-1)
+
+(* First-occurrence renaming of the (at most 4) operands as straight-line
+   int arithmetic — this runs once per uncached-by-rule check, so no
+   closures, no ref cells. A One gate contributes its operand twice, which
+   packs the same as the arity-aware encoding would. *)
+let pf_key a b ka kb =
+  let a1, a2 =
+    match a with
+    | Gate.One (_, p) -> (p, p)
+    | Gate.Two (_, p1, p2) -> (p1, p2)
+    | Gate.Barrier _ | Gate.Measure _ -> assert false
+  in
+  let b1, b2 =
+    match b with
+    | Gate.One (_, p) -> (p, p)
+    | Gate.Two (_, p1, p2) -> (p1, p2)
+    | Gate.Barrier _ | Gate.Measure _ -> assert false
+  in
+  let ra2 = if a2 = a1 then 0 else 1 in
+  let fresh = ra2 + 1 in
+  let rb1 = if b1 = a1 then 0 else if b1 = a2 then ra2 else fresh in
+  let fresh = if rb1 = fresh then fresh + 1 else fresh in
+  let rb2 =
+    if b2 = a1 then 0
+    else if b2 = a2 then ra2
+    else if b2 = b1 then rb1
+    else fresh
+  in
+  (((ka * n_pf) + kb) lsl 8) lor (ra2 lsl 4) lor (rb1 lsl 2) lor rb2
+
+(* First-occurrence renaming, like a per-call table would do but over the
+   at most 4 distinct qubits two unitary gates can touch (the only gates
+   that reach the exact fallback). Qubit indices are non-negative, so -1 is
+   a safe empty slot. *)
 let canonical a b =
-  let table = Hashtbl.create 8 in
+  let q0 = ref (-1) and q1 = ref (-1) and q2 = ref (-1) and q3 = ref (-1) in
   let next = ref 0 in
   let rename q =
-    match Hashtbl.find_opt table q with
-    | Some q' -> q'
-    | None ->
-      let q' = !next in
+    if q = !q0 then 0
+    else if q = !q1 then 1
+    else if q = !q2 then 2
+    else if q = !q3 then 3
+    else begin
+      let i = !next in
+      (match i with 0 -> q0 := q | 1 -> q1 := q | 2 -> q2 := q | _ -> q3 := q);
       incr next;
-      Hashtbl.replace table q q';
-      q'
+      i
+    end
   in
   let a' = Gate.remap rename a in
   let b' = Gate.remap rename b in
@@ -48,11 +143,24 @@ let canonical a b =
 let commutes a b =
   match commutes_by_rule a b with
   | Some r -> r
-  | None -> (
-    let key = canonical a b in
-    match Hashtbl.find_opt cache key with
-    | Some r -> r
-    | None ->
-      let r = Matrix.commute a b in
-      Hashtbl.replace cache key r;
-      r)
+  | None ->
+    let ka = pf_code a and kb = pf_code b in
+    if ka >= 0 && kb >= 0 then begin
+      let key = pf_key a b ka kb in
+      let v = pf_table.(key) in
+      if v >= 0 then v = 1
+      else begin
+        let r = Matrix.commute a b in
+        pf_table.(key) <- (if r then 1 else 0);
+        r
+      end
+    end
+    else begin
+      let key = canonical a b in
+      match Hashtbl.find_opt cache key with
+      | Some r -> r
+      | None ->
+        let r = Matrix.commute a b in
+        Hashtbl.replace cache key r;
+        r
+    end

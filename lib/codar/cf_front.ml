@@ -49,33 +49,305 @@ let scan ~window ~max_chain ~commutes ~gates ~issued head =
 let compute ?(window = 200) ?(max_chain = 20) ~commutes ~gates ~issued head =
   scan ~window ~max_chain ~commutes ~gates ~issued head
 
+(* -------------------------------------------------- incremental tracker *)
+
+(* The scan above defines CF membership, for a gate [g] at (0-based)
+   position [k] among the unissued window gates on each of its qubits, as
+
+     CF(g)  ⟺  ∀q ∈ qubits(g).  k_q(g) ≤ max_chain
+               ∧ ∀h earlier unissued window gate on q.  commutes h g
+
+   (for [k ≤ max_chain] the scan's chain holds exactly the [k] earlier
+   gates; the saturation flag is set by the gate at position [max_chain]
+   and blocks positions [> max_chain]). That formulation is maintainable
+   by events: issuing a CF gate only {e relaxes} the conditions of later
+   gates on its qubits, so nothing needs a full rescan —
+
+   - each blocked slot {e watches} its earliest non-commuting predecessor
+     (the SAT watched-literal trick): when the watcher's blocker is
+     issued, the slot rescans forward from the blocker's old successor
+     only, amortising each slot's total rescan work to one prefix walk;
+   - a slot at position [max_chain + 1] that drops to [max_chain] is the
+     only one whose saturation status can change per removal, found with
+     a bounded [max_chain]-step walk;
+   - the window admits exactly the next unissued gate past its tail,
+     checked once against the (≤ [max_chain]-long) prefixes of its
+     qubits.
+
+   Everything else — the vast majority of the window — keeps its cached
+   verdict. The remapper feeds issues in via {!notify_issued};
+   {!invalidate} (arbitrary external [issued] flips) falls back to a full
+   rebuild. *)
+
+type slot_state =
+  | S_ok
+  | S_blocked of int  (* earliest non-commuting predecessor (gate index) *)
+  | S_saturated  (* position > max_chain: conservatively blocked *)
+
+type slot = {
+  s_gate : int;
+  s_qubit : int;
+  mutable s_prev : slot option;
+  mutable s_next : slot option;
+  mutable s_state : slot_state;
+}
+
+type qline = {
+  mutable q_first : slot option;
+  mutable q_last : slot option;
+  mutable q_count : int;  (* uncapped count of window slots on this qubit *)
+}
+
 type t = {
   window : int;
   max_chain : int;
   commutes : Qc.Gate.t -> Qc.Gate.t -> bool;
   gates : Qc.Gate.t array;
   issued : bool array;
-  mutable cached_head : int;
+  n : int;
+  qlines : qline array;
+  slots : slot list array;  (* per gate: its slots while in the window *)
+  bad : int array;  (* per gate: number of blocking slots; CF ⟺ 0 *)
+  in_window : bool array;
+  watchers : slot list array;  (* per gate: slots blocked by it *)
+  (* window gates in ascending order, as a doubly-linked index list *)
+  gprev : int array;
+  gnext : int array;
+  mutable gfirst : int;
+  mutable glast : int;
+  mutable win_count : int;
+  mutable scan_next : int;  (* next gate index to examine for admission *)
+  mutable built : bool;  (* incremental structures mirror [issued] *)
+  mutable list_valid : bool;  (* [cached] mirrors the structures *)
   mutable cached : int list;
-  mutable valid : bool;
+  mutable cached_head : int;
 }
 
 let create ?(window = 200) ?(max_chain = 20) ~commutes ~gates ~issued () =
+  let n = Array.length gates in
+  let n_qubits =
+    1
+    + Array.fold_left
+        (fun acc g -> List.fold_left max acc (Qc.Gate.qubits g))
+        (-1) gates
+  in
   {
     window;
     max_chain;
     commutes;
     gates;
     issued;
-    cached_head = -1;
+    n;
+    qlines =
+      Array.init n_qubits (fun _ ->
+          { q_first = None; q_last = None; q_count = 0 });
+    slots = Array.make n [];
+    bad = Array.make n 0;
+    in_window = Array.make n false;
+    watchers = Array.make n [];
+    gprev = Array.make n (-1);
+    gnext = Array.make n (-1);
+    gfirst = -1;
+    glast = -1;
+    win_count = 0;
+    scan_next = 0;
+    built = false;
+    list_valid = false;
     cached = [];
-    valid = false;
+    cached_head = -1;
   }
 
-let invalidate t = t.valid <- false
+let invalidate t =
+  t.built <- false;
+  t.list_valid <- false
+
+(* First non-commuting predecessor of [sl] starting the walk at [from]
+   (every slot before [from] is already known to commute). Removed slots
+   keep their [s_next] into the live line, so a stale resume pointer is
+   walked through harmlessly via the [issued] guard. *)
+let rec first_blocker t g sl from =
+  match from with
+  | None -> None
+  | Some c ->
+    if c == sl then None
+    else if t.issued.(c.s_gate) then first_blocker t g sl c.s_next
+    else if t.commutes t.gates.(c.s_gate) g then first_blocker t g sl c.s_next
+    else Some c.s_gate
+
+(* Re-derive [sl]'s verdict from scratch on its own line and update the
+   owning gate's bad-count relative to [was_bad]. *)
+let reeval t sl ~was_bad =
+  let line = t.qlines.(sl.s_qubit) in
+  let g = t.gates.(sl.s_gate) in
+  let state =
+    match first_blocker t g sl line.q_first with
+    | Some b ->
+      t.watchers.(b) <- sl :: t.watchers.(b);
+      S_blocked b
+    | None -> S_ok
+  in
+  sl.s_state <- state;
+  let is_bad = state <> S_ok in
+  if was_bad && not is_bad then t.bad.(sl.s_gate) <- t.bad.(sl.s_gate) - 1
+  else if (not was_bad) && is_bad then
+    t.bad.(sl.s_gate) <- t.bad.(sl.s_gate) + 1
+
+(* After a removal on [line], the slot now at position [max_chain] (if
+   any) may have crossed the saturation boundary from above. *)
+let fix_saturation t line =
+  if line.q_count > t.max_chain then begin
+    let rec nth cur k =
+      match cur with
+      | None -> None
+      | Some c -> if k = 0 then Some c else nth c.s_next (k - 1)
+    in
+    match nth line.q_first t.max_chain with
+    | Some c when c.s_state = S_saturated -> reeval t c ~was_bad:true
+    | Some _ | None -> ()
+  end
+
+let admit t i =
+  let g = t.gates.(i) in
+  let qs = Qc.Gate.qubits g in
+  (* verdicts first, against lines not yet containing [g] (a gate listing
+     a qubit twice must not be checked against itself, mirroring the
+     scan's check-all-then-add order) *)
+  let staged =
+    List.map
+      (fun q ->
+        let line = t.qlines.(q) in
+        if line.q_count > t.max_chain then (q, S_saturated)
+        else
+          match
+            first_blocker t g { s_gate = i; s_qubit = q; s_prev = None;
+                                s_next = None; s_state = S_ok }
+              line.q_first
+          with
+          | Some b -> (q, S_blocked b)
+          | None -> (q, S_ok))
+      qs
+  in
+  let bad = ref 0 in
+  let slots =
+    List.map
+      (fun (q, state) ->
+        let line = t.qlines.(q) in
+        let sl =
+          { s_gate = i; s_qubit = q; s_prev = line.q_last; s_next = None;
+            s_state = state }
+        in
+        (match line.q_last with
+        | Some last -> last.s_next <- Some sl
+        | None -> line.q_first <- Some sl);
+        line.q_last <- Some sl;
+        line.q_count <- line.q_count + 1;
+        (match state with
+        | S_ok -> ()
+        | S_blocked b ->
+          t.watchers.(b) <- sl :: t.watchers.(b);
+          incr bad
+        | S_saturated -> incr bad);
+        sl)
+      staged
+  in
+  t.slots.(i) <- slots;
+  t.bad.(i) <- !bad;
+  t.in_window.(i) <- true;
+  if t.glast < 0 then begin
+    t.gfirst <- i;
+    t.glast <- i;
+    t.gprev.(i) <- -1;
+    t.gnext.(i) <- -1
+  end
+  else begin
+    t.gnext.(t.glast) <- i;
+    t.gprev.(i) <- t.glast;
+    t.gnext.(i) <- -1;
+    t.glast <- i
+  end;
+  t.win_count <- t.win_count + 1
+
+let admit_pending t =
+  while t.win_count < t.window && t.scan_next < t.n do
+    if not t.issued.(t.scan_next) then admit t t.scan_next;
+    t.scan_next <- t.scan_next + 1
+  done
+
+let rebuild t =
+  Array.iter
+    (fun line ->
+      line.q_first <- None;
+      line.q_last <- None;
+      line.q_count <- 0)
+    t.qlines;
+  Array.fill t.slots 0 t.n [];
+  Array.fill t.bad 0 t.n 0;
+  Array.fill t.in_window 0 t.n false;
+  Array.fill t.watchers 0 t.n [];
+  t.gfirst <- -1;
+  t.glast <- -1;
+  t.win_count <- 0;
+  t.scan_next <- 0;
+  admit_pending t;
+  t.built <- true
+
+let remove_slot t sl =
+  let line = t.qlines.(sl.s_qubit) in
+  (match sl.s_prev with
+  | Some p -> p.s_next <- sl.s_next
+  | None -> line.q_first <- sl.s_next);
+  (match sl.s_next with
+  | Some nx -> nx.s_prev <- sl.s_prev
+  | None -> line.q_last <- sl.s_prev);
+  line.q_count <- line.q_count - 1
+
+let notify_issued t i =
+  if t.built then begin
+    if i >= t.scan_next then ()  (* never admitted; admission will skip it *)
+    else if not t.in_window.(i) then
+      (* inconsistent external mutation; fall back to a rebuild *)
+      invalidate t
+    else begin
+      t.list_valid <- false;
+      t.in_window.(i) <- false;
+      (* unlink from the global window order *)
+      let p = t.gprev.(i) and nx = t.gnext.(i) in
+      if p >= 0 then t.gnext.(p) <- nx else t.gfirst <- nx;
+      if nx >= 0 then t.gprev.(nx) <- p else t.glast <- p;
+      t.win_count <- t.win_count - 1;
+      let removed = t.slots.(i) in
+      t.slots.(i) <- [];
+      List.iter (fun sl -> remove_slot t sl) removed;
+      (* wake the slots that watched [i] as their blocker: each rescans
+         forward from [i]'s old successor on its qubit only *)
+      let ws = t.watchers.(i) in
+      t.watchers.(i) <- [];
+      List.iter
+        (fun w ->
+          if t.in_window.(w.s_gate) && not t.issued.(w.s_gate) then begin
+            let resume =
+              match
+                List.find_opt (fun sl -> sl.s_qubit = w.s_qubit) removed
+              with
+              | Some sl -> sl.s_next
+              | None -> t.qlines.(w.s_qubit).q_first  (* defensive *)
+            in
+            match first_blocker t t.gates.(w.s_gate) w resume with
+            | Some b ->
+              t.watchers.(b) <- w :: t.watchers.(b);
+              w.s_state <- S_blocked b
+            | None ->
+              w.s_state <- S_ok;
+              t.bad.(w.s_gate) <- t.bad.(w.s_gate) - 1
+          end)
+        ws;
+      List.iter (fun sl -> fix_saturation t t.qlines.(sl.s_qubit)) removed;
+      admit_pending t
+    end
+  end
 
 let front ?stats t head =
-  if t.valid && t.cached_head = head then begin
+  if t.built && t.list_valid && t.cached_head = head then begin
     (match stats with
     | Some s -> s.Stats.cf_cache_hits <- s.Stats.cf_cache_hits + 1
     | None -> ());
@@ -85,12 +357,15 @@ let front ?stats t head =
     (match stats with
     | Some s -> s.Stats.cf_recomputes <- s.Stats.cf_recomputes + 1
     | None -> ());
-    let f =
-      scan ~window:t.window ~max_chain:t.max_chain ~commutes:t.commutes
-        ~gates:t.gates ~issued:t.issued head
-    in
+    if not t.built then rebuild t;
+    let acc = ref [] in
+    let i = ref t.glast in
+    while !i >= 0 do
+      if !i >= head && t.bad.(!i) = 0 then acc := !i :: !acc;
+      i := t.gprev.(!i)
+    done;
+    t.cached <- !acc;
     t.cached_head <- head;
-    t.cached <- f;
-    t.valid <- true;
-    f
+    t.list_valid <- true;
+    t.cached
   end

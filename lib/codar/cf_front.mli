@@ -28,12 +28,17 @@ val compute :
 (** {1 Incremental front maintenance}
 
     The front depends only on [(gates, issued, head)] — never on the layout,
-    locks or simulated time — so between gate issues every query can be
-    answered from a cached scan. {!t} owns that cache: {!front} returns the
-    cached index list while it is valid, and {!invalidate} (called whenever
-    a gate is issued, i.e. [issued] flips) forces the next query to rescan.
-    This turns the remapper's per-cycle fixpoint and SWAP-insertion loops
-    from O(iterations × window) into one scan per issued gate. *)
+    locks or simulated time — so it can be maintained by events instead of
+    rescanned. {!t} keeps, for every gate in the window, a per-qubit {e slot}
+    carrying a cached verdict: commuting with its whole prefix, blocked (it
+    watches its earliest non-commuting predecessor, SAT watched-literal
+    style), or saturation-blocked (chain position beyond [max_chain]).
+    Issuing a gate via {!notify_issued} can only {e relax} later gates'
+    conditions, so the update touches just the issued gate's watchers, at
+    most one saturation-boundary slot per qubit, and the single gate
+    admitted at the window tail — O(affected slots), not O(window × chain).
+    Profiling had the full rescan at >80% of CODAR route time; this is the
+    PR-6 change that removed it. *)
 
 type t
 (** A stateful front tracker over a fixed gate array and issued flags
@@ -51,11 +56,19 @@ val create :
 
 val front : ?stats:Stats.t -> t -> int -> int list
 (** [front t head] is [compute ~gates ~issued head], served from the cache
-    when no {!invalidate} intervened and [head] is unchanged. The returned
-    list is physically the cached list ([==]-stable across hits), which
-    callers may use to key derived caches. [stats], when given, counts the
-    hit/recompute. *)
+    when no {!notify_issued}/{!invalidate} intervened and [head] is
+    unchanged. Precondition: [head] is the first unissued index (the
+    remapper's invariant) — the incremental window starts there. The
+    returned list is physically the cached list ([==]-stable across hits),
+    which callers may use to key derived caches. [stats], when given,
+    counts the hit/recompute (a "recompute" is now an O(window) relist of
+    cached verdicts, not a rescan). *)
+
+val notify_issued : t -> int -> unit
+(** [notify_issued t i]: gate [i] just had its [issued] flag set; update
+    the tracked verdicts incrementally. O(slots affected by [i]). *)
 
 val invalidate : t -> unit
-(** Mark the cached front stale. Must be called after any flip of the shared
-    [issued] array; O(1). *)
+(** Discard all tracked state; the next {!front} rebuilds from the shared
+    [issued] array. For arbitrary external mutation of [issued] — issue
+    paths should prefer {!notify_issued}. O(1). *)

@@ -17,25 +17,38 @@ let distance_sum ~maqam ~layout pairs =
 (* Physical endpoint of [q] after hypothetically swapping p1 <-> p2. *)
 let moved p1 p2 p = if p = p1 then p2 else if p = p2 then p1 else p
 
+(* Hot path: one run per fine tie-break / forced-swap comparison, O(pairs)
+   each, so the distance table is read raw (the [-1] unreachable sentinel
+   is turned into a typed failure, never arithmetic) and the coordinate
+   terms are computed without the Option boxing of the generic accessors.
+   The float operation sequence is exactly the historical one — [fine]
+   must stay bitwise identical across code revisions. *)
 let evaluate_phys ~maqam ~phys_pairs ~swap:(p1, p2) =
   let coupling = Arch.Maqam.coupling maqam in
-  let has_coords = Arch.Coupling.coords coupling <> None in
+  let dist = Arch.Coupling.distance_table coupling in
+  let n = Arch.Coupling.n_qubits coupling in
   let basic = ref 0 and fine = ref 0. in
-  List.iter
-    (fun (a, b) ->
-      let a' = moved p1 p2 a and b' = moved p1 p2 b in
-      basic :=
-        !basic + Arch.Maqam.distance maqam a b
-        - Arch.Maqam.distance maqam a' b';
-      if has_coords then begin
-        match
-          ( Arch.Coupling.vertical_distance coupling a' b',
-            Arch.Coupling.horizontal_distance coupling a' b' )
-        with
-        | Some vd, Some hd -> fine := !fine -. Float.abs (vd -. hd)
-        | (None, _ | _, None) -> ()
-      end)
-    phys_pairs;
+  let step_basic a b a' b' =
+    let d = dist.((a * n) + b) and d' = dist.((a' * n) + b') in
+    if d < 0 || d' < 0 then
+      invalid_arg "Heuristic.evaluate_phys: disconnected qubit pair";
+    basic := !basic + d - d'
+  in
+  (match Arch.Coupling.coords coupling with
+  | None ->
+    List.iter
+      (fun (a, b) ->
+        step_basic a b (moved p1 p2 a) (moved p1 p2 b))
+      phys_pairs
+  | Some cs ->
+    List.iter
+      (fun (a, b) ->
+        let a' = moved p1 p2 a and b' = moved p1 p2 b in
+        step_basic a b a' b';
+        let xa, ya = cs.(a') and xb, yb = cs.(b') in
+        let vd = Float.abs (ya -. yb) and hd = Float.abs (xa -. xb) in
+        fine := !fine -. Float.abs (vd -. hd))
+      phys_pairs);
   { basic = !basic; fine = !fine }
 
 let evaluate ~maqam ~layout ~cf_pairs ~swap =

@@ -29,7 +29,17 @@ val evaluate_phys :
 (** Like {!evaluate} but over already-resolved physical endpoint pairs —
     the remapper's hot path, which resolves the CF pairs once per
     (front, layout) and scores every candidate edge against the cached
-    resolution instead of re-walking the layout per candidate. *)
+    resolution instead of re-walking the layout per candidate.
+
+    Distances are read raw from {!Arch.Coupling.distance_table}; a pair
+    whose endpoints lie in disconnected components raises [Invalid_argument]
+    (there is no [max_int] sentinel to leak into the arithmetic — the
+    remapper rejects such placements with a typed [Stuck] before scoring).
+
+    The float fold over [phys_pairs] runs in list order and must stay
+    bit-identical across revisions: [fine] values are compared for exact
+    equality by the tie-breaking logic, and the routed output is pinned
+    byte-for-byte against the reference router. *)
 
 val distance_sum :
   maqam:Arch.Maqam.t -> layout:Arch.Layout.t -> (int * int) list -> int

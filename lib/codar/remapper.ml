@@ -17,10 +17,11 @@ type state = {
   gates : Qc.Gate.t array;
   issued : bool array;
   cf : Cf_front.t;  (* incremental front over [gates]/[issued] *)
+  scorer : Swap_scorer.t;  (* incremental SWAP candidate scoring *)
   mutable head : int;  (* first unissued index *)
   mutable remaining : int;
   locks : int array;  (* per physical qubit: busy until this time *)
-  mutable layout : Arch.Layout.t;
+  layout : Arch.Layout.t;  (* private copy, mutated in place on SWAPs *)
   mutable layout_version : int;  (* bumped on every SWAP *)
   mutable time : int;
   mutable events_rev : Schedule.Routed.event list;
@@ -57,7 +58,7 @@ let issue_gate st i =
   let phys = Qc.Gate.remap (Arch.Layout.phys_of_log st.layout) g in
   emit st ~inserted:false phys (Arch.Maqam.duration st.maqam g);
   st.issued.(i) <- true;
-  Cf_front.invalidate st.cf;
+  Cf_front.notify_issued st.cf i;
   st.remaining <- st.remaining - 1;
   st.stats.Stats.gates_issued <- st.stats.Stats.gates_issued + 1;
   advance_head st
@@ -96,57 +97,33 @@ let cf_pairs st front =
 
 (* Physical endpoints of the CF pairs under the current layout, cached per
    (front, layout version) so SWAP scoring does not re-resolve the layout
-   for every candidate edge. *)
+   for every candidate edge. Pairs straddling disconnected components are a
+   typed routing failure, not a distance-table sentinel leaking into the
+   heuristic arithmetic. *)
 let phys_pairs st front =
   match st.phys_cache with
   | Some (f, v, pp) when f == front && v = st.layout_version -> pp
   | Some _ | None ->
+    let coupling = Arch.Maqam.coupling st.maqam in
     let pp =
       List.map
         (fun (q1, q2) ->
-          ( Arch.Layout.phys_of_log st.layout q1,
-            Arch.Layout.phys_of_log st.layout q2 ))
+          let p1 = Arch.Layout.phys_of_log st.layout q1
+          and p2 = Arch.Layout.phys_of_log st.layout q2 in
+          if not (Arch.Coupling.reachable coupling p1 p2) then
+            raise
+              (Stuck
+                 (Fmt.str
+                    "two-qubit gate on physical qubits %d and %d, which lie \
+                     in disconnected components of %s — unroutable placement"
+                    p1 p2
+                    (Arch.Coupling.name coupling)));
+          (p1, p2))
         (cf_pairs st front)
     in
     st.stats.Stats.pair_resolutions <- st.stats.Stats.pair_resolutions + 1;
     st.phys_cache <- Some (front, st.layout_version, pp);
     pp
-
-(* Candidate SWAPs: lock-free coupling edges incident to a physical endpoint
-   of a pending (non-adjacent) CF two-qubit gate. *)
-let swap_candidates st front =
-  let coupling = Arch.Maqam.coupling st.maqam in
-  let seen = Hashtbl.create 16 in
-  let add p p' =
-    let e = (min p p', max p p') in
-    if
-      (not (Hashtbl.mem seen e))
-      && lock_free_phys st p && lock_free_phys st p'
-    then Hashtbl.replace seen e ()
-  in
-  List.iter
-    (fun (p1, p2) ->
-      if not (Arch.Coupling.adjacent coupling p1 p2) then
-        List.iter
-          (fun p ->
-            List.iter (fun p' -> add p p') (Arch.Coupling.neighbors coupling p))
-          [ p1; p2 ])
-    (phys_pairs st front);
-  let candidates =
-    Hashtbl.fold (fun e () acc -> e :: acc) seen []
-    |> List.sort Stdlib.compare
-  in
-  st.stats.Stats.swap_candidates <-
-    st.stats.Stats.swap_candidates + List.length candidates;
-  candidates
-
-let priority_of st front edge =
-  st.stats.Stats.heuristic_evals <- st.stats.Stats.heuristic_evals + 1;
-  let p =
-    Heuristic.evaluate_phys ~maqam:st.maqam ~phys_pairs:(phys_pairs st front)
-      ~swap:edge
-  in
-  if st.config.use_fine then p else { p with Heuristic.fine = 0. }
 
 let issue_swap st (p1, p2) =
   if st.swap_budget <= 0 then
@@ -159,77 +136,42 @@ let issue_swap st (p1, p2) =
   st.swap_budget <- st.swap_budget - 1;
   emit st ~inserted:true (Qc.Gate.swap p1 p2)
     (Arch.Durations.swap (Arch.Maqam.durations st.maqam));
-  st.layout <- Arch.Layout.swap_physical st.layout p1 p2;
+  Arch.Layout.swap_physical_inplace st.layout p1 p2;
   st.layout_version <- st.layout_version + 1;
   st.stats.Stats.swaps_inserted <- st.stats.Stats.swaps_inserted + 1
 
 (* Step 3: repeatedly issue the best positive-priority SWAP. After each
-   insertion the layout changed, so the candidate set is regenerated from
-   the updated layout — not merely re-scored: an edge can become profitable
-   (or a pending gate non-adjacent) only once an endpoint has moved, and a
-   stale list would never consider it. Returns whether any SWAP issued. *)
+   insertion the layout changed, so the candidate set must reflect the
+   updated pair positions — an edge can become profitable (or a pending
+   gate non-adjacent) only once an endpoint has moved. The scorer repairs
+   exactly the candidates a committed SWAP touched instead of regenerating
+   and re-scoring the whole set (the seed's O(candidates × pairs) per
+   SWAP). Returns whether any SWAP issued. *)
 let insert_swaps st =
+  let front = cf_front st in
+  Swap_scorer.begin_cycle st.scorer ~time:st.time
+    ~phys_pairs:(phys_pairs st front);
   let issued_any = ref false in
-  let rec loop candidates =
-    let front = cf_front st in
-    let best =
-      List.fold_left
-        (fun acc e ->
-          let pr = priority_of st front e in
-          match acc with
-          | None -> Some (pr, e)
-          | Some (bpr, _) ->
-            if Heuristic.compare_priority pr bpr > 0 then Some (pr, e) else acc)
-        None candidates
-    in
-    match best with
-    | Some (pr, e) when pr.Heuristic.basic > 0 ->
+  let rec loop () =
+    match Swap_scorer.best st.scorer with
+    | Some (e, basic) when basic > 0 ->
       issue_swap st e;
+      Swap_scorer.commit st.scorer e;
       issued_any := true;
-      loop (swap_candidates st (cf_front st))
+      loop ()
     | Some _ | None -> ()
   in
-  loop (swap_candidates st (cf_front st));
+  loop ();
   !issued_any
 
 (* Deadlock escape: every qubit is free yet nothing could be issued. Force
-   the SWAP that (first) most reduces the oldest pending two-qubit gate —
-   one such SWAP always reduces it by one, guaranteeing progress — with the
-   global priority as tiebreak. *)
+   the SWAP that most reduces the oldest pending two-qubit gate — one such
+   SWAP always reduces it by one, guaranteeing progress — with the global
+   priority as tiebreak. The scorer's cycle state is current: force is only
+   reached when this cycle issued no gate and committed no SWAP. *)
 let force_swap st =
-  let front = cf_front st in
-  let oldest =
-    match phys_pairs st front with [] -> None | pp :: _ -> Some pp
-  in
-  let candidates = swap_candidates st front in
-  let score e =
-    let oldest_gain =
-      match oldest with
-      | None -> 0
-      | Some (a, b) ->
-        let moved p = let p1, p2 = e in
-          if p = p1 then p2 else if p = p2 then p1 else p in
-        Arch.Maqam.distance st.maqam a b
-        - Arch.Maqam.distance st.maqam (moved a) (moved b)
-    in
-    (oldest_gain, priority_of st front e)
-  in
-  let best =
-    List.fold_left
-      (fun acc e ->
-        let s = score e in
-        match acc with
-        | None -> Some (s, e)
-        | Some ((bg, bp), _) ->
-          let g, p = s in
-          if
-            g > bg || (g = bg && Heuristic.compare_priority p bp > 0)
-          then Some (s, e)
-          else acc)
-      None candidates
-  in
-  match best with
-  | Some (_, e) ->
+  match Swap_scorer.force_best st.scorer with
+  | Some e ->
     issue_swap st e;
     st.stats.Stats.forced_swaps <- st.stats.Stats.forced_swaps + 1
   | None ->
@@ -260,6 +202,7 @@ let run ?(config = default_config) ?stats ~maqam ~initial circuit =
     if config.use_commutativity then Qc.Commute.commutes else fun _ _ -> false
   in
   let stats = match stats with Some s -> s | None -> Stats.create () in
+  let locks = Array.make n_physical 0 in
   let st =
     {
       maqam;
@@ -270,15 +213,16 @@ let run ?(config = default_config) ?stats ~maqam ~initial circuit =
       cf =
         Cf_front.create ~window:config.window ~max_chain:config.max_chain
           ~commutes ~gates ~issued ();
+      scorer =
+        Swap_scorer.create ~maqam ~stats ~use_fine:config.use_fine ~locks;
       head = 0;
       remaining = Array.length gates;
-      locks = Array.make n_physical 0;
-      layout = initial;
+      locks;
+      layout = Arch.Layout.copy initial;
       layout_version = 0;
       time = 0;
       events_rev = [];
-      swap_budget =
-        10 * (Array.length gates + 1) * (n_physical + 1);
+      swap_budget = 10 * (Array.length gates + 1) * (n_physical + 1);
       pairs_cache = None;
       phys_cache = None;
     }

@@ -3,6 +3,7 @@ type t = {
   mutable cf_cache_hits : int;
   mutable pair_resolutions : int;
   mutable heuristic_evals : int;
+  mutable swap_rescores : int;
   mutable swap_candidates : int;
   mutable swaps_inserted : int;
   mutable forced_swaps : int;
@@ -16,6 +17,7 @@ let create () =
     cf_cache_hits = 0;
     pair_resolutions = 0;
     heuristic_evals = 0;
+    swap_rescores = 0;
     swap_candidates = 0;
     swaps_inserted = 0;
     forced_swaps = 0;
@@ -28,6 +30,7 @@ let reset s =
   s.cf_cache_hits <- 0;
   s.pair_resolutions <- 0;
   s.heuristic_evals <- 0;
+  s.swap_rescores <- 0;
   s.swap_candidates <- 0;
   s.swaps_inserted <- 0;
   s.forced_swaps <- 0;
@@ -41,12 +44,12 @@ let cf_hit_rate s =
 let pp ppf s =
   Fmt.pf ppf
     "cf: %d recomputes, %d cache hits (%.1f%% hit rate); %d pair \
-     resolutions; %d heuristic evals; %d swap candidates; %d swaps (%d \
-     forced); %d gates issued; %d cycles"
+     resolutions; %d heuristic evals; %d swap rescores; %d swap candidates; \
+     %d swaps (%d forced); %d gates issued; %d cycles"
     s.cf_recomputes s.cf_cache_hits
     (100. *. cf_hit_rate s)
-    s.pair_resolutions s.heuristic_evals s.swap_candidates s.swaps_inserted
-    s.forced_swaps s.gates_issued s.cycles
+    s.pair_resolutions s.heuristic_evals s.swap_rescores s.swap_candidates
+    s.swaps_inserted s.forced_swaps s.gates_issued s.cycles
 
 (* --------------------------------------------- compilation-cache counters *)
 

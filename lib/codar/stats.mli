@@ -13,8 +13,19 @@ type t = {
   mutable pair_resolutions : int;
       (** log→phys resolutions of the CF two-qubit pair list (once per
           front × layout change, not per heuristic query) *)
-  mutable heuristic_evals : int;  (** SWAP priority evaluations *)
-  mutable swap_candidates : int;  (** candidate edges generated, cumulative *)
+  mutable heuristic_evals : int;
+      (** {e full} [Heuristic.evaluate_phys] runs over the whole CF pair
+          list — since PR 6 only fine-priority tie-breaks and forced-swap
+          comparisons need one; delta updates cover the rest *)
+  mutable swap_rescores : int;
+      (** incremental candidate (re)scorings, each O(pairs incident to the
+          two swapped qubits). [heuristic_evals + swap_rescores] is the
+          total scoring work; the old conflated counter measured neither
+          honestly *)
+  mutable swap_candidates : int;
+      (** distinct candidate-edge activations (once per cycle per edge,
+          plus re-activation if an edge regains justification after a
+          SWAP) — no longer re-counts survivors on every regeneration *)
   mutable swaps_inserted : int;  (** SWAPs the router inserted *)
   mutable forced_swaps : int;  (** deadlock escapes (§IV-D) *)
   mutable gates_issued : int;  (** program gates issued *)

@@ -1,0 +1,72 @@
+(** Incremental SWAP candidate scoring (PR 6 tentpole).
+
+    Maintains the CODAR router's candidate-SWAP set and [Hbasic] priorities
+    across the SWAPs of one decision cycle by {e repair} instead of
+    regeneration: a committed SWAP [(x,y)] touches only the candidates
+    around [x], [y], and the far endpoints of CF pairs incident to them —
+    each repaired in O(incident pairs) via a per-physical-qubit incidence
+    index over the flat {!Arch.Coupling.distance_table}. Candidates live in
+    a bucketed priority queue (buckets indexed by [Hbasic], which is bounded
+    by ±pairs) with lazy deletion, so {!best} is O(1) amortised.
+
+    [Hfine] (the float load-balance term) is deliberately {e not}
+    delta-maintained: float summation order changes bit patterns, and the
+    routed output must stay byte-identical to the reference router. Fine
+    priorities come from the unchanged {!Heuristic.evaluate_phys} — same
+    fold, same order — and only for candidates tied at the maximal
+    [Hbasic].
+
+    Selection replicates the reference fold exactly: maximal [Hbasic], then
+    maximal [Hfine], then the smallest [(min p, max p)] edge. With
+    [use_fine = false] no full evaluation ever runs and ties break on the
+    edge directly (equivalent to the reference's all-zero fine).
+
+    Counter contract (see {!Stats}): each incremental (re)scoring bumps
+    [swap_rescores]; each candidate activation bumps [swap_candidates];
+    each full [Heuristic.evaluate_phys] bumps [heuristic_evals]. *)
+
+type t
+
+val create :
+  maqam:Arch.Maqam.t ->
+  stats:Stats.t ->
+  use_fine:bool ->
+  locks:int array ->
+  t
+(** [locks] is the remapper's per-physical-qubit lock array, shared by
+    reference and read at candidate-activation time. The scorer holds onto
+    the coupling's live distance table; O(n²) arrays are allocated once
+    here and epoch-stamped afterwards. *)
+
+val begin_cycle : t -> time:int -> phys_pairs:(int * int) list -> unit
+(** Start a decision cycle at simulated time [time] with the CF two-qubit
+    pairs resolved to physical endpoints (in front order — fine evaluation
+    folds over them in exactly this order). Builds the incidence index and
+    activates every justified, lock-free candidate edge. O(pairs +
+    activated candidates); all per-cycle state from the previous cycle is
+    invalidated by epoch, not cleared. *)
+
+val best : t -> ((int * int) * int) option
+(** The highest-priority candidate and its [Hbasic], or [None] when no
+    candidate is active. The caller issues the SWAP only when the returned
+    [Hbasic] is positive (the CODAR rule); either way the candidate stays
+    active until a {!commit} deactivates it. *)
+
+val commit : t -> int * int -> unit
+(** [commit t (x,y)]: the SWAP [(x,y)] was issued — repair the candidate
+    set. Precondition: the caller has already advanced the locks of [x] and
+    [y] past [time] (i.e. call it {e after} [issue_swap], never before) and
+    updated the layout; the scorer updates its own pair endpoints. *)
+
+val force_best : t -> (int * int) option
+(** Deadlock-escape selection over the currently active candidates: maximal
+    distance gain for the oldest pending pair, then ([Hbasic], [Hfine]),
+    then the smallest edge — the reference ordering. Valid only when
+    nothing was issued or committed since {!begin_cycle} (the only state
+    in which the remapper forces a SWAP). [None] when no candidate is
+    active. *)
+
+val candidates : t -> ((int * int) * int) list
+(** The active candidate edges with their maintained [Hbasic] scores,
+    sorted by edge — for tests asserting incremental/from-scratch
+    agreement; not on the router hot path. *)

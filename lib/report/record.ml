@@ -55,6 +55,7 @@ let stats_to_json (s : Codar.Stats.t) =
       ("cf_hit_rate", Json.Float (Codar.Stats.cf_hit_rate s));
       ("pair_resolutions", Json.Int s.Codar.Stats.pair_resolutions);
       ("heuristic_evals", Json.Int s.Codar.Stats.heuristic_evals);
+      ("swap_rescores", Json.Int s.Codar.Stats.swap_rescores);
       ("swap_candidates", Json.Int s.Codar.Stats.swap_candidates);
       ("swaps_inserted", Json.Int s.Codar.Stats.swaps_inserted);
       ("forced_swaps", Json.Int s.Codar.Stats.forced_swaps);
@@ -83,11 +84,22 @@ let field j name decode =
     | Some x -> Ok x
     | None -> Error (Printf.sprintf "field %S has the wrong type" name))
 
+(* Absent means "written before the counter existed": decode as 0 so
+   persisted cache entries and old bench snapshots keep loading. *)
+let optional_int_field j name ~default =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_int_opt v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
 let stats_of_json j =
   let* cf_recomputes = field j "cf_recomputes" Json.to_int_opt in
   let* cf_cache_hits = field j "cf_cache_hits" Json.to_int_opt in
   let* pair_resolutions = field j "pair_resolutions" Json.to_int_opt in
   let* heuristic_evals = field j "heuristic_evals" Json.to_int_opt in
+  let* swap_rescores = optional_int_field j "swap_rescores" ~default:0 in
   let* swap_candidates = field j "swap_candidates" Json.to_int_opt in
   let* swaps_inserted = field j "swaps_inserted" Json.to_int_opt in
   let* forced_swaps = field j "forced_swaps" Json.to_int_opt in
@@ -100,6 +112,7 @@ let stats_of_json j =
       cf_cache_hits;
       pair_resolutions;
       heuristic_evals;
+      swap_rescores;
       swap_candidates;
       swaps_inserted;
       forced_swaps;

@@ -31,7 +31,41 @@ let test_path_distances () =
 let test_disconnected () =
   let g = Arch.Coupling.make ~name:"two-islands" ~n:4 [ (0, 1); (2, 3) ] in
   Alcotest.(check bool) "not connected" false (Arch.Coupling.connected g);
-  Alcotest.(check int) "infinite distance" max_int (Arch.Coupling.distance g 0 3)
+  Alcotest.(check bool) "0-1 reachable" true (Arch.Coupling.reachable g 0 1);
+  Alcotest.(check bool) "self reachable" true (Arch.Coupling.reachable g 2 2);
+  Alcotest.(check bool) "0-3 unreachable" false (Arch.Coupling.reachable g 0 3);
+  (* distance across components is a typed failure, not a max_int sentinel
+     for callers to overflow with (the PR-6 bugfix) *)
+  Alcotest.(check bool) "cross-component distance raises" true
+    (try
+       ignore (Arch.Coupling.distance g 0 3);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "intra-component distance" 1
+    (Arch.Coupling.distance g 2 3);
+  let table = Arch.Coupling.distance_table g in
+  Alcotest.(check int) "raw table sentinel"
+    Arch.Coupling.unreachable_distance
+    table.((0 * 4) + 3)
+
+let test_bounds_checks () =
+  (* both endpoints must be validated: historically [adjacent] checked only
+     the second, so a bad first index read the wrong matrix row *)
+  let g = Arch.Devices.linear 4 in
+  let reject name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "adjacent bad a" (fun () -> Arch.Coupling.adjacent g 7 1);
+  reject "adjacent bad b" (fun () -> Arch.Coupling.adjacent g 1 7);
+  reject "adjacent negative a" (fun () -> Arch.Coupling.adjacent g (-1) 1);
+  reject "distance bad a" (fun () -> Arch.Coupling.distance g 9 0);
+  reject "distance bad b" (fun () -> Arch.Coupling.distance g 0 9);
+  reject "distance negative b" (fun () -> Arch.Coupling.distance g 0 (-2));
+  reject "reachable bad a" (fun () -> Arch.Coupling.reachable g 4 0)
 
 let test_coords () =
   let g = Arch.Devices.grid ~rows:2 ~cols:3 in
@@ -391,6 +425,7 @@ let () =
           Alcotest.test_case "validation" `Quick test_make_validation;
           Alcotest.test_case "path distances" `Quick test_path_distances;
           Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "bounds checks" `Quick test_bounds_checks;
           Alcotest.test_case "coords" `Quick test_coords;
           QCheck_alcotest.to_alcotest prop_distance_metric;
         ] );

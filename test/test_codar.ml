@@ -373,18 +373,27 @@ let test_wide_circuit_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* A two-qubit gate straddling the components of a disconnected-but-valid
+   device must fail with the typed {!Codar.Remapper.Stuck} the moment the
+   pair is resolved — before any SWAP is inserted. The seed instead let the
+   distance-table sentinel (then [max_int]) flow into [Heuristic.basic]'s
+   subtraction, where it wrapped and made cross-component SWAPs look
+   profitable; the router burned its whole SWAP budget before giving up. *)
 let test_disconnected_stuck () =
   let coupling =
     Arch.Coupling.make ~name:"islands" ~n:4 [ (0, 1); (2, 3) ]
   in
   let maqam = Arch.Maqam.make ~coupling ~durations:sc in
   let circuit = Qc.Circuit.make ~n_qubits:4 [ Qc.Gate.cx 0 3 ] in
+  let stats = Codar.Stats.create () in
   Alcotest.(check bool) "raises Stuck" true
     (try
        ignore
-         (Codar.Remapper.run ~maqam ~initial:(identity 4) circuit);
+         (Codar.Remapper.run ~stats ~maqam ~initial:(identity 4) circuit);
        false
-     with Codar.Remapper.Stuck _ -> true)
+     with Codar.Remapper.Stuck _ -> true);
+  Alcotest.(check int) "fails before wasting any SWAP (seed burned 200)" 0
+    stats.Codar.Stats.swaps_inserted
 
 let test_spare_physical_qubits () =
   (* 3 logical qubits on a 9-qubit grid: SWAPs may involve unoccupied
@@ -417,28 +426,32 @@ let test_window_insensitivity () =
          (Schedule.Verify.check_all ~maqam:maqam_grid33 ~original:circuit
             large))
 
-(* ------------------------------------- remapper: candidate regeneration *)
+(* ------------------------------------------ remapper: candidate repair *)
 
 (* Two independent distance-2 corner pairs on the 3x3 grid force two SWAPs
    in the same decision cycle, so the second SWAP is chosen after the first
    one has already moved an endpoint — exactly the situation where a stale
-   candidate list and a regenerated one diverge.
+   candidate list, a regenerated one, and the PR-6 incremental repair
+   diverge in the work they do (the routed output is identical for all
+   three; this test pins the accounting).
 
-   Iteration 1 scores the 8 lock-free edges incident to the two pending
-   pairs and picks SWAP(0,1), which makes the (q0,q2) pair adjacent.
-   Regeneration then offers only the 4 edges of the still-pending (q6,q8)
-   corner; after SWAP(6,7) nothing is pending and the loop sees 0
-   candidates. Total: 8 + 4 + 0 = 12 heuristic evaluations.
+   The cycle activates the 8 lock-free edges incident to the two pending
+   pairs (8 swap_candidates, 8 incremental scorings). Both pairs sit at
+   distance 2, so four edges score Hbasic = +1 — (0,1), (1,2), (6,7),
+   (7,8) — and only those ties pay a full [Heuristic.evaluate_phys] for
+   the Hfine tiebreak: 4 evals, winner SWAP(0,1). Committing it makes the
+   (q0,q2) pair adjacent: the edges around the locked qubits 0 and 1 die,
+   (2,5) is rescored as the far-endpoint survivor (1 scoring) and then
+   deactivated — its pair no longer justifies any candidate. The 4
+   corner-(q6,q8) edges keep their scores untouched; the +1 ties (6,7) and
+   (7,8) cost 2 more evals, winner SWAP(6,7). Its commit rescores (5,8)
+   (1 scoring) before deactivating it, and the queue drains.
 
-   The pre-fix stale list instead re-scored its lock-free survivors — dead
-   edges included: iteration 2 evaluated the 5 unlocked survivors of the
-   original 8 (among them (2,5), whose pair is already adjacent and can
-   only score <= 0), and iteration 3 the 2 survivors left after SWAP(6,7)
-   locked its endpoints: 8 + 5 + 2 = 15 evaluations. The exact counters
-   below therefore fail against the old candidate logic. (Routed output is
-   identical either way: SWAP locks shield the stale list from ever
-   *issuing* a dead candidate, because a freshly-moved endpoint stays
-   locked for the rest of the cycle — see docs/ALGORITHM.md.) *)
+   Totals: 8 distinct candidates, 8 + 1 + 1 = 10 incremental rescores,
+   4 + 2 = 6 full evaluations. The seed's regenerate-everything loop did
+   8 + 4 = 12 full evaluations and counted 12 candidates (re-counting the
+   corner's 4 survivors); a stale list would have done 15. The exact
+   counters below therefore fail against both old accountings. *)
 let test_swap_candidates_regenerated () =
   let circuit =
     Qc.Circuit.make ~n_qubits:9 [ Qc.Gate.cx 0 2; Qc.Gate.cx 6 8 ]
@@ -462,13 +475,172 @@ let test_swap_candidates_regenerated () =
     swaps;
   Alcotest.(check int) "makespan" 8 r.makespan;
   Alcotest.(check int) "swaps inserted" 2 stats.Codar.Stats.swaps_inserted;
-  Alcotest.(check int) "candidates offered (8+4+0)" 12
+  Alcotest.(check int) "distinct candidates activated" 8
     stats.Codar.Stats.swap_candidates;
-  Alcotest.(check int) "heuristic evals (stale list would do 15)" 12
+  Alcotest.(check int) "incremental rescores (8 activations + 2 repairs)" 10
+    stats.Codar.Stats.swap_rescores;
+  Alcotest.(check int) "full evals, ties only (seed did 12, stale list 15)" 6
     stats.Codar.Stats.heuristic_evals;
   match Schedule.Verify.check_all ~maqam:maqam_grid33 ~original:circuit r with
   | Ok () -> ()
   | Error e -> Alcotest.failf "verify: %a" Schedule.Verify.pp_error e
+
+(* ------------------------------------------------------ incremental scorer *)
+
+(* From-scratch model of the scorer's contract: the active candidate set is
+   every coupling edge whose endpoints are both lock-free and at least one
+   of which is an endpoint of a non-adjacent CF pair; each maintained
+   [Hbasic] must equal a fresh [Heuristic.evaluate_phys] over the current
+   pairs. Returned sorted by edge, like [Swap_scorer.candidates]. *)
+let scratch_candidates ~maqam ~locks ~time pairs =
+  let coupling = Arch.Maqam.coupling maqam in
+  let n = Arch.Coupling.n_qubits coupling in
+  let touched = Array.make n false in
+  List.iter
+    (fun (a, b) ->
+      if not (Arch.Coupling.adjacent coupling a b) then begin
+        touched.(a) <- true;
+        touched.(b) <- true
+      end)
+    pairs;
+  let out = ref [] in
+  for u = n - 1 downto 0 do
+    for v = n - 1 downto u + 1 do
+      if
+        Arch.Coupling.adjacent coupling u v
+        && (touched.(u) || touched.(v))
+        && locks.(u) <= time
+        && locks.(v) <= time
+      then
+        let p =
+          Codar.Heuristic.evaluate_phys ~maqam ~phys_pairs:pairs ~swap:(u, v)
+        in
+        out := ((u, v), p.Codar.Heuristic.basic) :: !out
+    done
+  done;
+  !out
+
+(* Connected random device: a random spanning tree plus up to n/2 chords
+   (duplicates dropped — [Coupling.make] rejects them). *)
+let random_device rng ~n =
+  let seen = Hashtbl.create 16 in
+  let edges = ref [] in
+  let add u v =
+    let e = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem seen e) then begin
+      Hashtbl.replace seen e ();
+      edges := e :: !edges
+    end
+  in
+  for v = 1 to n - 1 do
+    add (Random.State.int rng v) v
+  done;
+  for _ = 1 to n / 2 do
+    add (Random.State.int rng n) (Random.State.int rng n)
+  done;
+  Arch.Coupling.make ~name:"qcheck-random" ~n !edges
+
+(* CF fronts may repeat qubits across pairs (gates sharing a qubit can all
+   commute), so pairs here are independent draws with distinct endpoints. *)
+let random_pairs rng ~n =
+  List.init
+    (1 + Random.State.int rng 6)
+    (fun _ ->
+      let a = Random.State.int rng n in
+      ((a, (a + 1 + Random.State.int rng (n - 1)) mod n) : int * int))
+
+let prop_scorer_matches_scratch =
+  QCheck.Test.make ~count:200
+    ~name:"incremental SWAP priorities = from-scratch Heuristic.evaluate"
+    QCheck.(pair (int_bound 1_000_000) (int_range 0 3))
+    (fun (seed, dev) ->
+      let rng = Random.State.make [| 0x5eed; seed; dev |] in
+      let coupling =
+        match dev with
+        | 0 -> Arch.Devices.ibm_q20_tokyo
+        | 1 -> Arch.Devices.sycamore_54
+        | 2 -> Arch.Devices.fully_connected 8 (* ion trap: all-to-all *)
+        | _ -> random_device rng ~n:(6 + Random.State.int rng 10)
+      in
+      let maqam = Arch.Maqam.make ~coupling ~durations:sc in
+      let n = Arch.Coupling.n_qubits coupling in
+      let stats = Codar.Stats.create () in
+      let locks = Array.make n 0 in
+      let scorer =
+        Codar.Swap_scorer.create ~maqam ~stats ~use_fine:true ~locks
+      in
+      let time = ref 0 in
+      let pairs = ref [] in
+      let check what =
+        let expected = scratch_candidates ~maqam ~locks ~time:!time !pairs in
+        let got = Codar.Swap_scorer.candidates scorer in
+        if got <> expected then
+          QCheck.Test.fail_reportf
+            "%s: scorer has %d candidates, scratch says %d (n=%d, %d pairs)"
+            what (List.length got) (List.length expected) n
+            (List.length !pairs);
+        (* the selected SWAP must be the reference argmax when positive:
+           max Hbasic, then max Hfine, then the smallest edge (candidates
+           are edge-sorted, so first-wins folding breaks ties correctly) *)
+        match
+          List.fold_left
+            (fun acc (e, _) ->
+              let p =
+                Codar.Heuristic.evaluate_phys ~maqam ~phys_pairs:!pairs
+                  ~swap:e
+              in
+              match acc with
+              | Some (_, bp) when Codar.Heuristic.compare_priority p bp <= 0
+                ->
+                acc
+              | Some _ | None -> Some (e, p))
+            None expected
+        with
+        | Some (e, p) when p.Codar.Heuristic.basic > 0 -> (
+          match Codar.Swap_scorer.best scorer with
+          | Some (e', b') when e' = e && b' = p.Codar.Heuristic.basic -> ()
+          | Some ((u, v), b') ->
+            QCheck.Test.fail_reportf
+              "%s: best picked (%d,%d) basic %d, reference says (%d,%d) \
+               basic %d"
+              what u v b' (fst e) (snd e) p.Codar.Heuristic.basic
+          | None ->
+            QCheck.Test.fail_reportf "%s: best = None with a positive argmax"
+              what)
+        | Some _ | None -> ()
+      in
+      for _cycle = 1 to 3 do
+        time := !time + 1 + Random.State.int rng 5;
+        (* new front: some gates issued since last cycle, pairs re-resolved *)
+        pairs := random_pairs rng ~n;
+        (* a scattering of qubits still busy with earlier gates *)
+        Array.iteri
+          (fun i l ->
+            locks.(i) <-
+              (if Random.State.int rng 5 = 0 then
+                 !time + 1 + Random.State.int rng 3
+               else min l !time))
+          locks;
+        Codar.Swap_scorer.begin_cycle scorer ~time:!time ~phys_pairs:!pairs;
+        check "after begin_cycle";
+        for _step = 1 to Random.State.int rng 4 do
+          match Codar.Swap_scorer.candidates scorer with
+          | [] -> ()
+          | cs ->
+            let (x, y), _ =
+              List.nth cs (Random.State.int rng (List.length cs))
+            in
+            (* issue_swap's footprint: locks advance, the layout moves *)
+            let d = Arch.Durations.swap (Arch.Maqam.durations maqam) in
+            locks.(x) <- !time + d;
+            locks.(y) <- !time + d;
+            let mv p = if p = x then y else if p = y then x else p in
+            pairs := List.map (fun (a, b) -> (mv a, mv b)) !pairs;
+            Codar.Swap_scorer.commit scorer (x, y);
+            check "after commit"
+        done
+      done;
+      true)
 
 (* --------------------------------------------------------- instrumentation *)
 
@@ -549,8 +721,10 @@ let () =
             test_spare_physical_qubits;
           Alcotest.test_case "window insensitivity" `Quick
             test_window_insensitivity;
-          Alcotest.test_case "SWAP candidates regenerated" `Quick
+          Alcotest.test_case "SWAP candidates repaired" `Quick
             test_swap_candidates_regenerated;
           Alcotest.test_case "stats counters" `Quick test_stats_counters;
         ] );
+      ( "swap_scorer",
+        [ QCheck_alcotest.to_alcotest prop_scorer_matches_scratch ] );
     ]
