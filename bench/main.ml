@@ -649,14 +649,432 @@ let smoke () =
     (Array.length p1.Codar.Portfolio.scores)
     p1.Codar.Portfolio.routed.Schedule.Routed.makespan
 
-(* ------------------------------------------------------------------ main *)
+(* --------------------------------------------------------------- Loadgen *)
+
+(* Sustained-load benchmark for the compile service (BENCH_PR7.json): for
+   each io-model × concurrency cell, fork a daemon child, drive N
+   persistent pipelined connections from one single-threaded select loop
+   for a fixed wall-clock window, and report sustained RPS plus
+   p50/p99/p999 reply latency. Streams mix warm requests (a fixed route
+   line answered from cache) with ~1/16 cold ones (a unique ["seed"]
+   per request forces a fresh computation). Every warm reply is
+   byte-compared against a reference captured before the run — the
+   replay guarantee must hold under load, and any mismatch fails the
+   benchmark. Each daemon runs in its own forked process, so the 512-conn
+   cells stay inside both processes' [FD_SETSIZE]. *)
+
+let lg_warm_line = {|{"op":"route","bench":"qft_4","restarts":2}|}
+
+let lg_cold_line k =
+  Fmt.str {|{"op":"route","bench":"qft_4","restarts":2,"seed":%d}|} k
+
+(* growable sample store: latencies arrive at six figures per second *)
+type lg_samples = { mutable buf : float array; mutable len : int }
+
+let lg_samples () = { buf = Array.make 4096 0.; len = 0 }
+
+let lg_push s x =
+  if s.len = Array.length s.buf then begin
+    let b = Array.make (2 * s.len) 0. in
+    Array.blit s.buf 0 b 0 s.len;
+    s.buf <- b
+  end;
+  s.buf.(s.len) <- x;
+  s.len <- s.len + 1
+
+let lg_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let i = int_of_float ((p *. float_of_int (n - 1)) +. 0.5) in
+    sorted.(max 0 (min (n - 1) i))
+
+type lg_conn = {
+  lfd : Unix.file_descr;
+  mutable out : string; (* serialized requests not yet written *)
+  mutable opos : int;
+  inflight : (float * bool) Queue.t; (* enqueue time, is_warm; FIFO *)
+  ibuf : Buffer.t;
+}
+
+type lg_cell = {
+  cell_io : Service.Config.io_model;
+  cell_conns : int;
+  rps : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  replies : int; (* ok replies inside the measured window *)
+  err_replies : int; (* error replies (e.g. overloaded) in the window *)
+  cold_sent : int;
+  warm_mismatches : int;
+  srv_overloads : int;
+  srv_wb_stalls : int;
+  srv_coalesced : int;
+}
+
+let lg_drive ~conns:n ~duration ~warmup ~window ~reference sock =
+  let conns =
+    Array.init n (fun _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        Unix.set_nonblock fd;
+        {
+          lfd = fd;
+          out = "";
+          opos = 0;
+          inflight = Queue.create ();
+          ibuf = Buffer.create 4096;
+        })
+  in
+  let by_fd = Hashtbl.create (2 * n) in
+  Array.iter (fun c -> Hashtbl.replace by_fd c.lfd c) conns;
+  let t_start = Unix.gettimeofday () in
+  let t_measure = t_start +. warmup in
+  let t_end = t_measure +. duration in
+  let t_abort = t_end +. 30. in
+  let lat = lg_samples () in
+  let sent = ref 0 in
+  let cold_sent = ref 0 in
+  let mismatches = ref 0 in
+  let errors = ref 0 in
+  let measured = ref 0 in
+  let generating = ref true in
+  let chunk = Bytes.create 65536 in
+  let gen_one c now =
+    incr sent;
+    let cold = !sent mod 16 = 0 in
+    if cold then incr cold_sent;
+    let line = if cold then lg_cold_line !sent else lg_warm_line in
+    Queue.add (now, not cold) c.inflight;
+    c.out <-
+      String.sub c.out c.opos (String.length c.out - c.opos) ^ line ^ "\n";
+    c.opos <- 0
+  in
+  (* an ["overloaded"]/error reply cost the daemon almost nothing: count
+     it apart so rps compares routed work, not shed load *)
+  let on_reply c line now =
+    let t0, warm = Queue.pop c.inflight in
+    let ok =
+      String.length line >= 10 && String.equal (String.sub line 0 10) {|{"ok":true|}
+    in
+    if now >= t_measure && now <= t_end then
+      if ok then begin
+        lg_push lat ((now -. t0) *. 1e6);
+        incr measured
+      end
+      else incr errors;
+    if warm && not (String.equal line reference) then incr mismatches
+  in
+  let drain_lines c now =
+    let s = Buffer.contents c.ibuf in
+    match String.rindex_opt s '\n' with
+    | None -> ()
+    | Some last ->
+      Buffer.clear c.ibuf;
+      Buffer.add_substring c.ibuf s (last + 1) (String.length s - last - 1);
+      List.iter
+        (fun l -> on_reply c l now)
+        (String.split_on_char '\n' (String.sub s 0 last))
+  in
+  let inflight_left () =
+    Array.exists (fun c -> not (Queue.is_empty c.inflight)) conns
+  in
+  let now = ref t_start in
+  while !generating || inflight_left () do
+    if !now > t_abort then
+      failwith "loadgen: drain did not finish 30s past the window";
+    if !generating && !now >= t_end then generating := false;
+    if !generating then
+      Array.iter
+        (fun c ->
+          while Queue.length c.inflight < window do
+            gen_one c !now
+          done)
+        conns;
+    let rd =
+      Array.fold_left
+        (fun acc c -> if Queue.is_empty c.inflight then acc else c.lfd :: acc)
+        [] conns
+    in
+    let wr =
+      Array.fold_left
+        (fun acc c ->
+          if c.opos < String.length c.out then c.lfd :: acc else acc)
+        [] conns
+    in
+    match Unix.select rd wr [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      now := Unix.gettimeofday ()
+    | readable, writable, _ ->
+      now := Unix.gettimeofday ();
+      List.iter
+        (fun fd ->
+          let c = Hashtbl.find by_fd fd in
+          match
+            Unix.write_substring c.lfd c.out c.opos
+              (String.length c.out - c.opos)
+          with
+          | k -> c.opos <- c.opos + k
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            ())
+        writable;
+      List.iter
+        (fun fd ->
+          let c = Hashtbl.find by_fd fd in
+          match Unix.read c.lfd chunk 0 (Bytes.length chunk) with
+          | 0 -> failwith "loadgen: daemon closed a connection under load"
+          | k ->
+            Buffer.add_subbytes c.ibuf chunk 0 k;
+            drain_lines c !now
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            ())
+        readable
+  done;
+  Array.iter
+    (fun c -> try Unix.close c.lfd with Unix.Unix_error _ -> ())
+    conns;
+  let sorted = Array.sub lat.buf 0 lat.len in
+  Array.sort compare sorted;
+  ( sorted,
+    !measured,
+    !cold_sent,
+    !mismatches,
+    !errors,
+    float_of_int !measured /. (t_end -. t_measure) )
+
+let lg_cell ~io_model ~conns ~duration ~warmup ~window ~trials =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "codar-loadgen-%d-%s-%d.sock" (Unix.getpid ())
+         (Service.Config.io_model_to_string io_model)
+         conns)
+  in
+  (* the daemon child: fresh process, own domains/threads, own fd table *)
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (try
+       ignore
+         (Service.Server.run
+            (* a deep queue so neither io model sheds colds as cheap
+               ["overloaded"] errors: both must do identical route work *)
+            (Service.Server.config ~jobs:(Pool.default_jobs ())
+               ~cache_entries:1024 ~queue_capacity:1024 ~io_model
+               ~socket_path:sock ()))
+     with _ -> ());
+    Unix._exit 0
+  end;
+  let rec wait_ready tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if tries = 0 then failwith "loadgen: daemon did not come up";
+      Unix.sleepf 0.02;
+      wait_ready (tries - 1)
+  in
+  wait_ready 500;
+  (* warm the cache and capture the byte-identity reference *)
+  let reference =
+    Service.Client.with_connection sock (fun t ->
+        ignore (Service.Client.request t lg_warm_line);
+        Service.Client.request t lg_warm_line)
+  in
+  (* the box is small and shared with the driver: take the median-RPS
+     trial of [trials] so one scheduler hiccup doesn't decide a cell *)
+  let runs =
+    List.init trials (fun _ ->
+        lg_drive ~conns ~duration ~warmup ~window ~reference sock)
+  in
+  let sorted_runs =
+    List.sort (fun (_, _, _, _, _, a) (_, _, _, _, _, b) -> compare a b) runs
+  in
+  let sorted, replies, cold_sent, _, err_replies, rps =
+    List.nth sorted_runs (trials / 2)
+  in
+  (* byte-identity must hold in every trial, not just the median one *)
+  let warm_mismatches =
+    List.fold_left (fun acc (_, _, _, m, _, _) -> acc + m) 0 runs
+  in
+  let counter stats path =
+    match Report.Json.parse stats with
+    | Error e -> Fmt.failwith "loadgen: bad stats reply: %s" e
+    | Ok j -> (
+      let rec walk j = function
+        | [] -> j
+        | k :: rest -> (
+          match Report.Json.member k j with
+          | Some j -> walk j rest
+          | None -> Fmt.failwith "loadgen: stats missing %s" k)
+      in
+      match walk j path with
+      | Report.Json.Int n -> n
+      | _ -> Fmt.failwith "loadgen: stats field not an int")
+  in
+  let srv_overloads, srv_wb_stalls, srv_coalesced =
+    Service.Client.with_connection sock (fun t ->
+        let stats = Service.Client.request t {|{"op":"stats"}|} in
+        ( counter stats [ "service"; "overloads" ],
+          counter stats [ "service"; "wb_stalls" ],
+          counter stats [ "service"; "coalesced" ] ))
+  in
+  Service.Client.with_connection sock (fun t ->
+      ignore (Service.Client.request t {|{"op":"shutdown"}|}));
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> failwith "loadgen: daemon child did not exit cleanly");
+  {
+    cell_io = io_model;
+    cell_conns = conns;
+    rps;
+    p50_us = lg_percentile sorted 0.50;
+    p99_us = lg_percentile sorted 0.99;
+    p999_us = lg_percentile sorted 0.999;
+    replies;
+    err_replies;
+    cold_sent;
+    warm_mismatches;
+    srv_overloads;
+    srv_wb_stalls;
+    srv_coalesced;
+  }
+
+let loadgen ?json ~conns_list ~duration ~trials () =
+  Fmt.pr
+    "@.== Sustained load: evented vs threaded (warm route + 1/16 cold, \
+     %.1fs/cell) ==@."
+    duration;
+  let warmup = Float.min 1.0 (Float.max 0.1 (duration /. 5.)) in
+  let window = 8 in
+  Fmt.pr "%-9s %6s %10s %9s %9s %9s %9s %7s %6s@." "io-model" "conns" "rps"
+    "p50(us)" "p99(us)" "p999(us)" "replies" "cold" "errs";
+  let cells =
+    List.concat_map
+      (fun io_model ->
+        List.map
+          (fun conns ->
+            let c =
+              lg_cell ~io_model ~conns ~duration ~warmup ~window ~trials
+            in
+            Fmt.pr "%-9s %6d %10.0f %9.0f %9.0f %9.0f %9d %7d %6d@."
+              (Service.Config.io_model_to_string c.cell_io)
+              c.cell_conns c.rps c.p50_us c.p99_us c.p999_us c.replies
+              c.cold_sent c.err_replies;
+            if c.replies = 0 then failwith "loadgen: no replies measured";
+            if c.warm_mismatches > 0 then
+              Fmt.failwith
+                "loadgen: %d warm replies were not byte-identical under load \
+                 (%s, %d conns)"
+                c.warm_mismatches
+                (Service.Config.io_model_to_string c.cell_io)
+                c.cell_conns;
+            c)
+          conns_list)
+      [ Service.Config.Evented; Service.Config.Threaded ]
+  in
+  (* head-to-head summary at equal concurrency *)
+  Fmt.pr "@.-- evented / threaded at equal concurrency --@.";
+  List.iter
+    (fun conns ->
+      let find io =
+        List.find
+          (fun c -> c.cell_io = io && c.cell_conns = conns)
+          cells
+      in
+      let e = find Service.Config.Evented
+      and t = find Service.Config.Threaded in
+      Fmt.pr "%6d conns: rps x%.2f, p99 x%.2f@." conns (e.rps /. t.rps)
+        (e.p99_us /. t.p99_us))
+    conns_list;
+  match json with
+  | None -> ()
+  | Some path ->
+    let cell_json c =
+      Report.Json.Obj
+        [
+          ( "io_model",
+            Report.Json.String
+              (Service.Config.io_model_to_string c.cell_io) );
+          ("conns", Report.Json.Int c.cell_conns);
+          ("rps", Report.Json.Float c.rps);
+          ("p50_us", Report.Json.Float c.p50_us);
+          ("p99_us", Report.Json.Float c.p99_us);
+          ("p999_us", Report.Json.Float c.p999_us);
+          ("replies", Report.Json.Int c.replies);
+          ("err_replies", Report.Json.Int c.err_replies);
+          ("cold_sent", Report.Json.Int c.cold_sent);
+          ("warm_mismatches", Report.Json.Int c.warm_mismatches);
+          ("srv_overloads", Report.Json.Int c.srv_overloads);
+          ("srv_wb_stalls", Report.Json.Int c.srv_wb_stalls);
+          ("srv_coalesced", Report.Json.Int c.srv_coalesced);
+        ]
+    in
+    let doc =
+      Report.Json.Obj
+        [
+          ("schema", Report.Json.String "codar-bench-loadgen/1");
+          ("ocaml", Report.Json.String Sys.ocaml_version);
+          ("duration_s", Report.Json.Float duration);
+          ("window", Report.Json.Int window);
+          ("trials", Report.Json.Int trials);
+          ("warm_line", Report.Json.String lg_warm_line);
+          ("cells", Report.Json.List (List.map cell_json cells));
+        ]
+    in
+    let oc = open_out path in
+    Report.Json.output oc doc;
+    close_out oc;
+    Fmt.pr "wrote %s@." path
 
 let usage () =
   Fmt.epr
     "usage: main.exe \
      [all|table1|fig8|fig8-fast|fig9|ablation|initmap|swaps|baselines|esp|\
-     perf|smoke] [-j|--jobs N] [--json PATH]@.";
+     perf|smoke|loadgen] [-j|--jobs N] [--json PATH]\n\
+    \       main.exe loadgen [--conns N,N,..] [--duration S] [--smoke] \
+     [--json PATH]@.";
   exit 2
+
+let loadgen_cmd ?json rest =
+  let conns = ref [ 8; 64; 512 ] in
+  let duration = ref 5.0 in
+  let smoke = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: r ->
+      smoke := true;
+      parse r
+    | "--conns" :: v :: r ->
+      conns :=
+        List.map
+          (fun s ->
+            match int_of_string_opt (String.trim s) with
+            | Some n when n >= 1 -> n
+            | Some _ | None -> usage ())
+          (String.split_on_char ',' v);
+      parse r
+    | "--duration" :: v :: r ->
+      (match float_of_string_opt v with
+      | Some d when d > 0. -> duration := d
+      | Some _ | None -> usage ());
+      parse r
+    | _ -> usage ()
+  in
+  parse rest;
+  let trials = if !smoke then 1 else 3 in
+  if !smoke then begin
+    conns := [ 4 ];
+    duration := 0.3
+  end;
+  loadgen ?json ~conns_list:!conns ~duration:!duration ~trials ()
+
+(* ------------------------------------------------------------------ main *)
 
 let () =
   let rec extract jobs json acc = function
@@ -672,7 +1090,12 @@ let () =
   let jobs, json, args = extract 1 None [] (List.tl (Array.to_list Sys.argv)) in
   let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
   let t0 = Unix.gettimeofday () in
-  Pool.with_pool ~jobs (fun pool ->
+  (match args with
+  | "loadgen" :: rest ->
+    (* forks daemon children; runs before any pool domain exists *)
+    loadgen_cmd ?json rest
+  | _ ->
+    Pool.with_pool ~jobs (fun pool ->
       match args with
       | [] | [ "all" ] ->
         table1 ();
@@ -695,7 +1118,7 @@ let () =
       | [ "esp" ] -> esp ()
       | [ "perf" ] -> perf ?json ()
       | [ "smoke" ] -> smoke ()
-      | _ -> usage ());
+      | _ -> usage ()));
   Fmt.pr "@.(total wall time with %d job%s: %.1fs)@." jobs
     (if jobs = 1 then "" else "s")
     (Unix.gettimeofday () -. t0)

@@ -493,6 +493,21 @@ let serve_cmd =
                 expiry answers the typed `deadline_exceeded` error. No \
                 deadline by default.")
   in
+  let io_model =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("evented", Service.Config.Evented);
+               ("threaded", Service.Config.Threaded);
+             ])
+          Service.Config.Evented
+      & info [ "io-model" ]
+          ~doc:"Server I/O architecture: `evented` (default; one thread \
+                multiplexes every connection via select, with write-buffer \
+                backpressure) or `threaded` (one thread per connection).")
+  in
   let faults =
     Arg.(
       value & opt (some int) None
@@ -512,7 +527,7 @@ let serve_cmd =
                 3 s mid-persist, for kill -9 crash-recovery drills).")
   in
   let run socket jobs cache_entries cache_bytes cache_file max_request queue
-      timeout faults fault_profile =
+      timeout io_model faults fault_profile =
     guard @@ fun () ->
     let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
     (match faults with
@@ -529,7 +544,8 @@ let serve_cmd =
     let cfg =
       Service.Server.config ~jobs ~cache_entries ?cache_bytes ?cache_file
         ?max_request_bytes:max_request ~queue_capacity:queue
-        ?timeout_ms:timeout ~handle_signals:true ~socket_path:socket ()
+        ?timeout_ms:timeout ~io_model ~handle_signals:true
+        ~socket_path:socket ()
     in
     let svc =
       Service.Server.run
@@ -548,7 +564,7 @@ let serve_cmd =
              content-addressed routing cache (docs/SERVICE.md).")
     Term.(
       const run $ socket_arg $ jobs $ cache_entries $ cache_bytes $ cache_file
-      $ max_request $ queue $ timeout $ faults $ fault_profile)
+      $ max_request $ queue $ timeout $ io_model $ faults $ fault_profile)
 
 let client_cmd =
   let op =
@@ -603,6 +619,15 @@ let client_cmd =
       value & opt (some string) None
       & info [ "file" ] ~doc:"Cache file for cache-save / cache-load.")
   in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Send the request N times pipelined over the one persistent \
+                connection (amortises connect cost; replies print in \
+                order). Only meaningful for idempotent ops — route replies \
+                beyond the first are answered from the cache.")
+  in
   let retries =
     Arg.(
       value & opt int 0
@@ -632,9 +657,10 @@ let client_cmd =
     | Error _ -> exit_io
   in
   let run socket op input bench arch durations router placement restarts seed
-      stats file retries retry_base_ms =
+      stats file repeat retries retry_base_ms =
     guard @@ fun () ->
     if retries < 0 then Fmt.failwith "--retries must be >= 0";
+    if repeat < 1 then Fmt.failwith "--repeat must be >= 1";
     let opt_str key = Option.map (fun v -> (key, Report.Json.String v)) in
     let opt_int key = Option.map (fun v -> (key, Report.Json.Int v)) in
     let frame =
@@ -697,6 +723,19 @@ let client_cmd =
     in
     Service.Client.with_connection socket (fun t ->
         match frame with
+        | Some frame when repeat > 1 ->
+          let line = Report.Json.to_string ~indent:0 frame in
+          let replies =
+            Service.Client.request_many t (List.init repeat (fun _ -> line))
+          in
+          List.iter print_endline replies;
+          let code =
+            List.fold_left
+              (fun acc reply ->
+                if acc <> 0 then acc else exit_of_reply reply)
+              0 replies
+          in
+          if code <> 0 then exit code
         | Some frame ->
           let reply = ask t (Report.Json.to_string ~indent:0 frame) in
           print_endline reply;
@@ -718,7 +757,8 @@ let client_cmd =
        ~doc:"Talk to a running `codar_cli serve` daemon.")
     Term.(
       const run $ socket_arg $ op $ input $ bench $ arch $ durations $ router
-      $ placement $ restarts $ seed $ stats $ file $ retries $ retry_base_ms)
+      $ placement $ restarts $ seed $ stats $ file $ repeat $ retries
+      $ retry_base_ms)
 
 let fuzz_cmd =
   let cases =

@@ -17,21 +17,28 @@ type t = {
 
 let unreachable_distance = -1
 
-(* Fill row [src] of the flat matrix in place. *)
-let bfs_distances n adj dist src =
+(* Fill row [src] of the flat matrix in place. The adjacency is consulted
+   in CSR form ([off]/[nbr] flat int arrays) and the BFS frontier is a
+   reusable int array ring — no per-source [Queue.t] or boxed-list
+   traffic, which is what makes [make] itself cheap enough to sit in a
+   micro-benchmark (core/coupling-sycamore). *)
+let bfs_distances n off nbr dist queue src =
   let base = src * n in
   dist.(base + src) <- 0;
-  let queue = Queue.create () in
-  Queue.add src queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    List.iter
-      (fun v ->
-        if dist.(base + v) = unreachable_distance then begin
-          dist.(base + v) <- dist.(base + u) + 1;
-          Queue.add v queue
-        end)
-      adj.(u)
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du1 = dist.(base + u) + 1 in
+    for i = off.(u) to off.(u + 1) - 1 do
+      let v = nbr.(i) in
+      if dist.(base + v) = unreachable_distance then begin
+        dist.(base + v) <- du1;
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done
   done
 
 let make ?coords ~name ~n edge_list =
@@ -64,9 +71,25 @@ let make ?coords ~name ~n edge_list =
       Bytes.set adjm ((b * n) + a) '\001')
     edges;
   let deg = Array.map List.length adj in
+  (* CSR image of [adj]: off.(q) .. off.(q+1)-1 index q's neighbours *)
+  let off = Array.make (n + 1) 0 in
+  for q = 0 to n - 1 do
+    off.(q + 1) <- off.(q) + deg.(q)
+  done;
+  let nbr = Array.make (max 1 off.(n)) 0 in
+  let fill = Array.copy off in
+  Array.iteri
+    (fun q l ->
+      List.iter
+        (fun v ->
+          nbr.(fill.(q)) <- v;
+          fill.(q) <- fill.(q) + 1)
+        l)
+    adj;
   let dist = Array.make (n * n) unreachable_distance in
+  let queue = Array.make (max 1 n) 0 in
   for src = 0 to n - 1 do
-    bfs_distances n adj dist src
+    bfs_distances n off nbr dist queue src
   done;
   let diameter =
     Array.fold_left (fun acc d -> if d > acc then d else acc) 0 dist

@@ -95,6 +95,11 @@ type service = {
   mutable disconnects : int;
   mutable timeouts : int;
   mutable overloads : int;
+  mutable conns_active : int;
+  mutable conns_peak : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable wb_stalls : int;
 }
 
 let service_create () =
@@ -108,6 +113,11 @@ let service_create () =
     disconnects = 0;
     timeouts = 0;
     overloads = 0;
+    conns_active = 0;
+    conns_peak = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    wb_stalls = 0;
   }
 
 let service_reset s =
@@ -119,11 +129,18 @@ let service_reset s =
   s.connections <- 0;
   s.disconnects <- 0;
   s.timeouts <- 0;
-  s.overloads <- 0
+  s.overloads <- 0;
+  s.conns_active <- 0;
+  s.conns_peak <- 0;
+  s.bytes_in <- 0;
+  s.bytes_out <- 0;
+  s.wb_stalls <- 0
 
 let pp_service ppf s =
   Fmt.pf ppf
     "service: %d requests (%d ok, %d err); %d routes computed, %d \
-     coalesced; %d connections, %d disconnects; %d timeouts, %d overloads"
+     coalesced; %d connections (%d active, peak %d), %d disconnects; %d \
+     timeouts, %d overloads; %d B in, %d B out, %d write stalls"
     s.requests s.responses_ok s.responses_err s.routes_computed s.coalesced
-    s.connections s.disconnects s.timeouts s.overloads
+    s.connections s.conns_active s.conns_peak s.disconnects s.timeouts
+    s.overloads s.bytes_in s.bytes_out s.wb_stalls

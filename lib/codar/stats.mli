@@ -85,6 +85,13 @@ type service = {
   mutable overloads : int;
       (** requests answered [overloaded]: the dispatch queue was full
           when they arrived (admission control, not blocking) *)
+  mutable conns_active : int;  (** connections currently open *)
+  mutable conns_peak : int;  (** high-watermark of [conns_active] *)
+  mutable bytes_in : int;  (** request bytes read off client sockets *)
+  mutable bytes_out : int;  (** reply bytes written to client sockets *)
+  mutable wb_stalls : int;
+      (** backpressure episodes: a slow-reading connection whose write
+          buffer crossed the high-watermark and was paused for reading *)
 }
 
 val service_create : unit -> service

@@ -32,6 +32,77 @@ let request t line =
   | Some reply -> reply
   | None -> failwith "Service.Client: server closed the connection"
 
+(* Pipelined round-trip: every request is written before (or while) the
+   replies stream back, so N requests cost one connection and roughly one
+   RTT of queueing instead of N blocking round-trips. Writing and reading
+   interleave over [select] on a temporarily non-blocking fd — a client
+   that only wrote first could deadlock against a server whose reply
+   bytes are backing up (both kernel buffers full, both sides blocked on
+   write). Bypasses [t.reader]; don't interleave with {!request} calls
+   that left a partial reply buffered there. *)
+let request_many t lines =
+  let n = List.length lines in
+  if n = 0 then []
+  else begin
+    let payload = Buffer.create 256 in
+    List.iter
+      (fun l ->
+        Buffer.add_string payload l;
+        Buffer.add_char payload '\n')
+      lines;
+    let out = Buffer.contents payload in
+    let total = String.length out in
+    Unix.set_nonblock t.fd;
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.clear_nonblock t.fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let pos = ref 0 in
+        let inbuf = Buffer.create 1024 in
+        let chunk = Bytes.create 65536 in
+        let replies = ref [] in
+        let count = ref 0 in
+        let drain_lines () =
+          let s = Buffer.contents inbuf in
+          match String.rindex_opt s '\n' with
+          | None -> ()
+          | Some last ->
+            Buffer.clear inbuf;
+            Buffer.add_substring inbuf s (last + 1)
+              (String.length s - last - 1);
+            List.iter
+              (fun l ->
+                incr count;
+                replies := l :: !replies)
+              (String.split_on_char '\n' (String.sub s 0 last))
+        in
+        while !count < n do
+          let want_write = if !pos < total then [ t.fd ] else [] in
+          match Unix.select [ t.fd ] want_write [] (-1.) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | readable, writable, _ ->
+            (if writable <> [] then
+               match Unix.write_substring t.fd out !pos (total - !pos) with
+               | k -> pos := !pos + k
+               | exception
+                   Unix.Unix_error
+                     ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+                 ());
+            if readable <> [] then begin
+              match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+              | 0 -> failwith "Service.Client: server closed the connection"
+              | k ->
+                Buffer.add_subbytes inbuf chunk 0 k;
+                drain_lines ()
+              | exception
+                  Unix.Unix_error
+                    ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+                ()
+            end
+        done;
+        List.rev !replies)
+  end
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let with_connection ?max_reply_bytes path f =

@@ -18,6 +18,16 @@ val recv_line : t -> string option
 val request : t -> string -> string
 (** [send_line] then [recv_line]; fails if the server hangs up first. *)
 
+val request_many : t -> string list -> string list
+(** Pipelined requests over the persistent connection: all frames are
+    written while replies stream back (interleaved over [select], so a
+    large pipeline cannot deadlock against a slow server), returning the
+    replies in request order — the daemon answers each connection
+    strictly FIFO. [codar_cli client --repeat] and [bench loadgen] use
+    it to amortise connect cost. Fails like {!request} if the server
+    closes early. Bypasses the {!recv_line} buffer; do not interleave
+    with a {!request} that left a partial reply buffered. *)
+
 val request_with_retry :
   ?attempts:int -> ?base_delay_ms:int -> ?seed:int -> t -> string -> string
 (** {!request}, retried on an ["overloaded"] reply: up to [attempts]

@@ -1,0 +1,63 @@
+(* Shared daemon configuration. Lives in its own module so the two server
+   implementations ([Server], the thread-per-connection original, and
+   [Evented], the select loop) can both consume it without a dependency
+   cycle: [Server.run] dispatches on [io_model], so [Server] depends on
+   [Evented], and [Evented] needs the config record. *)
+
+type io_model = Threaded | Evented
+
+let io_model_to_string = function
+  | Threaded -> "threaded"
+  | Evented -> "evented"
+
+let io_model_of_string = function
+  | "threaded" -> Some Threaded
+  | "evented" -> Some Evented
+  | _ -> None
+
+type t = {
+  socket_path : string;
+  jobs : int;
+  cache_entries : int;
+  cache_bytes : int option;
+  cache_file : string option;
+  max_request_bytes : int;
+  queue_capacity : int;
+  backlog : int;
+  timeout_ms : int option;
+  handle_signals : bool;
+  io_model : io_model;
+  write_watermark_bytes : int;
+  on_route_start : (string -> unit) option;
+}
+
+let default_write_watermark_bytes = 256 * 1024
+
+let make ?(jobs = 1) ?(cache_entries = 1024) ?cache_bytes ?cache_file
+    ?(max_request_bytes = Frame.default_max_bytes) ?(queue_capacity = 64)
+    ?(backlog = 64) ?timeout_ms ?(handle_signals = false)
+    ?(io_model = Evented)
+    ?(write_watermark_bytes = default_write_watermark_bytes) ?on_route_start
+    ~socket_path () =
+  if jobs < 1 then invalid_arg "Server.config: jobs < 1";
+  if queue_capacity < 1 then invalid_arg "Server.config: queue_capacity < 1";
+  (match timeout_ms with
+  | Some ms when ms < 1 -> invalid_arg "Server.config: timeout_ms < 1"
+  | Some _ | None -> ());
+  if write_watermark_bytes < 1 then
+    invalid_arg "Server.config: write_watermark_bytes < 1";
+  {
+    socket_path;
+    jobs;
+    cache_entries;
+    cache_bytes;
+    cache_file;
+    max_request_bytes;
+    queue_capacity;
+    backlog;
+    timeout_ms;
+    handle_signals;
+    io_model;
+    write_watermark_bytes;
+    on_route_start;
+  }

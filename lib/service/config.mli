@@ -1,0 +1,65 @@
+(** Daemon configuration, shared by the two server implementations
+    ({!Server}, thread-per-connection; {!Evented}, select loop). A
+    separate module breaks the [Server] → [Evented] → config cycle.
+    {!Server.config} is the public constructor; this module is the
+    record both implementations read. *)
+
+type io_model =
+  | Threaded  (** one thread per connection (the PR 5 design) *)
+  | Evented  (** one I/O thread multiplexing every socket via [select] *)
+
+val io_model_to_string : io_model -> string
+val io_model_of_string : string -> io_model option
+
+type t = {
+  socket_path : string;
+  jobs : int;  (** Domain-pool width for routing *)
+  cache_entries : int;
+  cache_bytes : int option;
+  cache_file : string option;
+      (** loaded at startup when present; saved on shutdown and by the
+          [cache save] request *)
+  max_request_bytes : int;
+  queue_capacity : int;  (** bound on not-yet-dispatched routing jobs *)
+  backlog : int;
+  timeout_ms : int option;
+      (** per-request deadline: bounds both mid-frame read stalls and the
+          wait for a routing outcome; [None] (default) waits forever *)
+  handle_signals : bool;
+      (** install SIGTERM/SIGINT handlers that drain gracefully; off by
+          default so in-process tests keep their signal dispositions *)
+  io_model : io_model;  (** which server implementation [run] starts *)
+  write_watermark_bytes : int;
+      (** backpressure threshold: a connection whose buffered unsent
+          reply bytes exceed this stops being read until the buffer
+          drains below it again (evented server only) *)
+  on_route_start : (string -> unit) option;
+      (** test hook, called with the fingerprint as each routing job
+          starts (possibly from a pool domain) *)
+}
+
+val default_write_watermark_bytes : int
+(** 256 KiB — enough that a healthy client never trips it. *)
+
+val make :
+  ?jobs:int ->
+  ?cache_entries:int ->
+  ?cache_bytes:int ->
+  ?cache_file:string ->
+  ?max_request_bytes:int ->
+  ?queue_capacity:int ->
+  ?backlog:int ->
+  ?timeout_ms:int ->
+  ?handle_signals:bool ->
+  ?io_model:io_model ->
+  ?write_watermark_bytes:int ->
+  ?on_route_start:(string -> unit) ->
+  socket_path:string ->
+  unit ->
+  t
+(** Defaults: 1 job, 1024 cache entries, no byte cap, no cache file,
+    {!Frame.default_max_bytes}, queue capacity 64, backlog 64, no
+    deadline, no signal handling, [Evented],
+    {!default_write_watermark_bytes}. Raises [Invalid_argument] on
+    [jobs < 1], [queue_capacity < 1], [timeout_ms < 1] or
+    [write_watermark_bytes < 1]. *)

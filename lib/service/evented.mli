@@ -1,0 +1,19 @@
+(** The evented server implementation behind
+    [serve --io-model evented] (the default): one I/O thread multiplexes
+    every client socket through [Unix.select] over non-blocking fds,
+    with per-connection read/write buffers and a reading → queued →
+    routing → writing state machine; the Domain pool does the routing;
+    outcomes return over a self-pipe. Both deadline kinds (mid-frame
+    read, slow route) fold into the select timeout — no ticker thread —
+    and a write-buffer high-watermark backpressures slow consumers.
+
+    {!Server.run} dispatches here; the behavioural guarantees documented
+    on {!Server} hold for both implementations. *)
+
+val select_timeout : now:float -> float list -> float
+(** Seconds the loop may sleep given the armed absolute deadlines:
+    [-1.] (sleep until an fd event) when no deadline is armed, else
+    [max 0 (nearest - now)]. Pure; the poll-loop unit test pins it. *)
+
+val run : ?on_ready:(unit -> unit) -> Config.t -> Codar.Stats.service
+(** Same contract as {!Server.run}. *)

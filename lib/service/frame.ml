@@ -123,6 +123,48 @@ let rec read ?timeout_s r =
       end
     end
 
+(* ------------------------------------------- non-blocking primitives *)
+
+(* One read attempt against a (normally O_NONBLOCK) fd, for the evented
+   server's loop. Applies the same read-side fault points in the same
+   order as [do_read], so a soak plan drives an evented daemon through
+   the same decision sequence a threaded one sees: mid-frame EOF first,
+   then the stall pause, then the short-read cap. *)
+let read_once ?(inject = false) fd bytes =
+  if inject && Faults.fire Faults.Frame_read_eof then `Eof
+  else begin
+    if inject then Faults.pause Faults.Frame_stall;
+    let cap =
+      if inject && Faults.fire Faults.Frame_short_read then 1
+      else Bytes.length bytes
+    in
+    match Unix.read fd bytes 0 cap with
+    | 0 -> `Eof
+    | n -> `Data n
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      `Again
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF | Unix.ENOTCONN), _, _)
+      ->
+      `Eof
+  end
+
+(* One write attempt; partial progress is the caller's buffer problem.
+   No fault point here on purpose: [Frame_write_error] fires once per
+   reply frame, and a non-blocking writer may need many attempts per
+   frame — the evented server queries the point when it *enqueues* a
+   frame, keeping fault-query parity with the threaded [write]. *)
+let write_once fd s ~pos ~len =
+  match Unix.write_substring fd s pos len with
+  | n -> `Wrote n
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    `Again
+
 let write ?(inject = false) fd line =
   if inject && Faults.fire Faults.Frame_write_error then
     (* a vanished client, as the kernel would report it *)

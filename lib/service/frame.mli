@@ -28,6 +28,25 @@ val read :
     returns [`Timeout] — also framing-poisoning, since the peer's
     unfinished bytes are abandoned in the buffer. *)
 
+val read_once :
+  ?inject:bool ->
+  Unix.file_descr ->
+  Bytes.t ->
+  [ `Data of int | `Eof | `Again ]
+(** One [Unix.read] into [bytes] for a non-blocking fd — the evented
+    server's read primitive. [`Again] maps [EAGAIN]/[EWOULDBLOCK]/
+    [EINTR]; connection-reset errors and a zero-byte read map to [`Eof].
+    [inject] applies the read-side {!Faults} points in the same order as
+    the blocking {!read} path (mid-frame EOF, stall, short-read cap). *)
+
+val write_once :
+  Unix.file_descr -> string -> pos:int -> len:int -> [ `Wrote of int | `Again ]
+(** One [Unix.write_substring] attempt for a non-blocking fd. [`Again]
+    maps [EAGAIN]/[EWOULDBLOCK]/[EINTR]; a vanished peer still raises
+    [Unix.Unix_error] ([EPIPE]). Carries no fault point — the evented
+    server queries {!Faults.point}[.Frame_write_error] once per enqueued
+    frame instead, mirroring {!write}'s once-per-frame query rate. *)
+
 val write : ?inject:bool -> Unix.file_descr -> string -> unit
 (** Write [line + "\n"] fully. Raises [Unix.Unix_error] (e.g. [EPIPE])
     when the peer is gone. [inject] (default [false]) opts the write

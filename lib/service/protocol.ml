@@ -271,4 +271,9 @@ let service_counters_to_json (s : Codar.Stats.service) =
       ("disconnects", Json.Int s.Codar.Stats.disconnects);
       ("timeouts", Json.Int s.Codar.Stats.timeouts);
       ("overloads", Json.Int s.Codar.Stats.overloads);
+      ("conns_active", Json.Int s.Codar.Stats.conns_active);
+      ("conns_peak", Json.Int s.Codar.Stats.conns_peak);
+      ("bytes_in", Json.Int s.Codar.Stats.bytes_in);
+      ("bytes_out", Json.Int s.Codar.Stats.bytes_out);
+      ("wb_stalls", Json.Int s.Codar.Stats.wb_stalls);
     ]

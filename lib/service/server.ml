@@ -1,5 +1,10 @@
-(* The routing daemon: a Unix-domain-socket accept loop, one thread per
-   connection, and a single dispatcher thread that owns the Domain pool.
+(* The routing daemon's public entry point and its *threaded*
+   implementation ([--io-model threaded]): a Unix-domain-socket accept
+   loop, one thread per connection, and a single dispatcher thread that
+   owns the Domain pool. [run] (bottom of file) dispatches on
+   [Config.io_model] — the default is the select-loop server in
+   [Evented]; this implementation is kept selectable so the two can be
+   compared honestly under one test suite and one load generator.
 
    Concurrency layout — the part worth reading twice:
 
@@ -44,43 +49,11 @@
    configured, and removes the socket). *)
 
 module Json = Report.Json
+open Config
 
-type config = {
-  socket_path : string;
-  jobs : int;
-  cache_entries : int;
-  cache_bytes : int option;
-  cache_file : string option;
-  max_request_bytes : int;
-  queue_capacity : int;
-  backlog : int;
-  timeout_ms : int option;
-  handle_signals : bool;
-  on_route_start : (string -> unit) option;
-}
+type config = Config.t
 
-let config ?(jobs = 1) ?(cache_entries = 1024) ?cache_bytes ?cache_file
-    ?(max_request_bytes = Frame.default_max_bytes) ?(queue_capacity = 64)
-    ?(backlog = 64) ?timeout_ms ?(handle_signals = false) ?on_route_start
-    ~socket_path () =
-  if jobs < 1 then invalid_arg "Server.config: jobs < 1";
-  if queue_capacity < 1 then invalid_arg "Server.config: queue_capacity < 1";
-  (match timeout_ms with
-  | Some ms when ms < 1 -> invalid_arg "Server.config: timeout_ms < 1"
-  | Some _ | None -> ());
-  {
-    socket_path;
-    jobs;
-    cache_entries;
-    cache_bytes;
-    cache_file;
-    max_request_bytes;
-    queue_capacity;
-    backlog;
-    timeout_ms;
-    handle_signals;
-    on_route_start;
-  }
+let config = Config.make
 
 type pending = {
   fp : string;
@@ -198,22 +171,11 @@ let ticker st =
 
 (* ------------------------------------------------------------- requests *)
 
-let item_ok ~fingerprint record =
-  Json.Obj (("ok", Json.Bool true) :: Protocol.route_payload ~fingerprint record)
-
-let item_err code msg =
-  Json.Obj
-    [
-      ("ok", Json.Bool false);
-      ("code", Json.String (Protocol.error_code_to_string code));
-      ("error", Json.String msg);
-    ]
-
 (* Resolve, look up, possibly enqueue, wait, and return one route result as
    a JSON item (shared by [route] and each [batch] element). *)
 let route_item st (rr : Protocol.route_req) =
   match Engine.spec_of_route_req rr with
-  | Error msg -> item_err Protocol.Bad_request msg
+  | Error msg -> Ops.item_err Protocol.Bad_request msg
   | Ok spec -> (
     let fp = Engine.fingerprint spec in
     let resolution =
@@ -246,12 +208,9 @@ let route_item st (rr : Protocol.route_req) =
             end)
     in
     match resolution with
-    | `Hit record -> item_ok ~fingerprint:fp record
-    | `Stopping -> item_err Protocol.Io "server is shutting down"
-    | `Overloaded ->
-      item_err Protocol.Overloaded
-        (Printf.sprintf "dispatch queue is full (capacity %d); retry with backoff"
-           st.cfg.queue_capacity)
+    | `Hit record -> Ops.item_ok ~fingerprint:fp record
+    | `Stopping -> Ops.stopping_item
+    | `Overloaded -> Ops.overloaded_item st.cfg.queue_capacity
     | `Wait p -> (
       let deadline =
         Option.map
@@ -279,77 +238,14 @@ let route_item st (rr : Protocol.route_req) =
       | None ->
         (* the job itself keeps running and will land in the cache; only
            this waiter gives up *)
-        item_err Protocol.Deadline_exceeded
-          (Printf.sprintf "route exceeded the %d ms deadline"
-             (Option.value st.cfg.timeout_ms ~default:0))
-      | Some (Ok record) -> item_ok ~fingerprint:fp record
-      | Some (Error msg) -> item_err Protocol.Route_failed msg))
-
-let cache_info_json st =
-  locked st (fun () ->
-      let c = st.cache in
-      Json.Obj
-        [
-          ("entries", Json.Int (Cache.length c));
-          ("bytes", Json.Int (Cache.bytes c));
-          ("max_entries", Json.Int (Cache.max_entries c));
-          ( "max_bytes",
-            match Cache.max_bytes c with
-            | Some b -> Json.Int b
-            | None -> Json.Null );
-          ("counters", Protocol.cache_counters_to_json (Cache.counters c));
-        ])
+        Ops.deadline_item st.cfg.timeout_ms
+      | Some o -> Ops.outcome_item ~fp o))
 
 let handle_cache st ?id action =
-  let path_or ~fallback = function
-    | Some p -> Ok p
-    | None -> (
-      match fallback with
-      | Some p -> Ok p
-      | None -> Error "no cache file given and none configured")
-  in
-  match action with
-  | Protocol.Info ->
-    `Reply
-      (Protocol.ok_frame ?id ~op:"cache"
-         [ ("action", Json.String "info"); ("cache", cache_info_json st) ])
-  | Protocol.Clear ->
-    Cache.clear (locked st (fun () -> st.cache));
-    `Reply
-      (Protocol.ok_frame ?id ~op:"cache" [ ("action", Json.String "clear") ])
-  | Protocol.Save file -> (
-    match path_or ~fallback:st.cfg.cache_file file with
-    | Error msg -> `Error (Protocol.Bad_request, msg)
-    | Ok path -> (
-      let cache = locked st (fun () -> st.cache) in
-      match Cache.save cache path with
-      | () ->
-        `Reply
-          (Protocol.ok_frame ?id ~op:"cache"
-             [
-               ("action", Json.String "save");
-               ("file", Json.String path);
-               ("entries", Json.Int (Cache.length cache));
-             ])
-      | exception Sys_error msg -> `Error (Protocol.Io, msg)))
-  | Protocol.Load file -> (
-    match path_or ~fallback:st.cfg.cache_file file with
-    | Error msg -> `Error (Protocol.Bad_request, msg)
-    | Ok path -> (
-      match
-        Cache.load ?max_bytes:st.cfg.cache_bytes
-          ~max_entries:st.cfg.cache_entries path
-      with
-      | Error e -> `Error (Protocol.Io, Cache.load_error_to_string e)
-      | Ok cache ->
-        locked st (fun () -> st.cache <- cache);
-        `Reply
-          (Protocol.ok_frame ?id ~op:"cache"
-             [
-               ("action", Json.String "load");
-               ("file", Json.String path);
-               ("entries", Json.Int (Cache.length cache));
-             ])))
+  Ops.handle_cache ~cfg:st.cfg
+    ~get_cache:(fun () -> locked st (fun () -> st.cache))
+    ~set_cache:(fun cache -> locked st (fun () -> st.cache <- cache))
+    ?id action
 
 let initiate_stop st =
   locked st (fun () ->
@@ -370,60 +266,25 @@ let initiate_stop st =
 (* Returns the reply frame plus what to do with the connection next. *)
 let handle_request st ?id req =
   match req with
-  | Protocol.Ping ->
-    (Protocol.ok_frame ?id ~op:"ping" [ ("reply", Json.String "pong") ], `Keep)
+  | Protocol.Ping -> (Ops.ping_frame ?id (), `Keep)
   | Protocol.Stats ->
-    let svc, cache_counters =
+    let svc_json, cache_counters =
       locked st (fun () ->
           ( Protocol.service_counters_to_json st.svc,
             Protocol.cache_counters_to_json (Cache.counters st.cache) ))
     in
-    let faults =
-      (* per-point injected-fault counts of the armed plan; an empty
-         object when no plan is armed *)
-      Json.Obj (List.map (fun (n, c) -> (n, Json.Int c)) (Faults.fired ()))
-    in
-    ( Protocol.ok_frame ?id ~op:"stats"
-        [
-          ("service", svc);
-          ("cache", cache_counters);
-          ("faults", faults);
-          ("jobs", Json.Int st.cfg.jobs);
-        ],
-      `Keep )
-  | Protocol.Route rr -> (
-    match route_item st rr with
-    | Json.Obj (("ok", Json.Bool true) :: payload) ->
-      (Protocol.ok_frame ?id ~op:"route" payload, `Keep)
-    | item ->
-      (* error item: lift into a top-level error frame *)
-      let code =
-        match Json.member "code" item with
-        | Some (Json.String c) -> (
-          match Protocol.error_code_of_string c with
-          | Some c -> c
-          | None -> Protocol.Route_failed)
-        | Some _ | None -> Protocol.Route_failed
-      in
-      let msg =
-        match Json.member "error" item with
-        | Some (Json.String m) -> m
-        | Some _ | None -> "route failed"
-      in
-      (Protocol.error_frame ?id code msg, `Keep))
+    (Ops.stats_frame ?id ~jobs:st.cfg.jobs ~svc_json ~cache_counters (), `Keep)
+  | Protocol.Route rr -> (Ops.route_frame ?id (route_item st rr), `Keep)
   | Protocol.Batch rrs ->
     (* Resolution and waiting happen per item; items keep their order.
        Under admission control a batch bigger than the queue's free space
        sees [overloaded] items rather than blocking the connection. *)
-    let items = List.map (route_item st) rrs in
-    ( Protocol.ok_frame ?id ~op:"batch" [ ("results", Json.List items) ],
-      `Keep )
+    (Ops.batch_frame ?id (List.map (route_item st) rrs), `Keep)
   | Protocol.Cache action -> (
     match handle_cache st ?id action with
     | `Reply frame -> (frame, `Keep)
     | `Error (code, msg) -> (Protocol.error_frame ?id code msg, `Keep))
-  | Protocol.Shutdown ->
-    (Protocol.ok_frame ?id ~op:"shutdown" [], `Shutdown)
+  | Protocol.Shutdown -> (Ops.shutdown_frame ?id (), `Shutdown)
 
 (* ----------------------------------------------------------- connections *)
 
@@ -445,6 +306,9 @@ let handle_connection st fd =
   let send frame ~ok =
     match Frame.write ~inject:true fd frame with
     | () ->
+      locked st (fun () ->
+          st.svc.Codar.Stats.bytes_out <-
+            st.svc.Codar.Stats.bytes_out + String.length frame + 1);
       count_reply st ok;
       true
     | exception Unix.Unix_error _ ->
@@ -473,6 +337,11 @@ let handle_connection st fd =
       (* framing is lost: drop the connection *)
     | `Line "" -> loop () (* tolerate keep-alive blank lines *)
     | `Line line -> (
+      (* approximate: the line plus its newline (the blocking reader does
+         not expose raw byte counts; the evented server counts exactly) *)
+      locked st (fun () ->
+          st.svc.Codar.Stats.bytes_in <-
+            st.svc.Codar.Stats.bytes_in + String.length line + 1);
       match Protocol.parse_frame line with
       | Error (id, code, msg) ->
         if send ~ok:false (Protocol.error_frame ?id code msg) then loop ()
@@ -490,45 +359,19 @@ let handle_connection st fd =
       locked st (fun () ->
           st.conns <- List.filter (fun c -> c <> fd) st.conns;
           st.active <- st.active - 1;
+          st.svc.Codar.Stats.conns_active <-
+            st.svc.Codar.Stats.conns_active - 1;
           Condition.broadcast st.cond))
     (fun () -> try loop () with _ -> ())
 
 (* ------------------------------------------------------------------ run *)
 
-let run ?on_ready cfg =
+let run_threaded ?on_ready cfg =
   (* a vanished client must be an EPIPE error, not a process kill *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
    with Invalid_argument _ -> ());
-  let cache =
-    match cfg.cache_file with
-    | Some path when Sys.file_exists path -> (
-      match
-        Cache.load ?max_bytes:cfg.cache_bytes ~max_entries:cfg.cache_entries
-          path
-      with
-      | Ok c -> c
-      | Error e ->
-        (* a corrupt or unreadable persistence file is a warning and a
-           cold start, never a refusal to serve *)
-        Printf.eprintf "codar serve: ignoring cache file %s: %s\n%!" path
-          (Cache.load_error_to_string e);
-        Cache.create ?max_bytes:cfg.cache_bytes ~max_entries:cfg.cache_entries
-          ())
-    | Some _ | None ->
-      Cache.create ?max_bytes:cfg.cache_bytes ~max_entries:cfg.cache_entries ()
-  in
-  (* a stale socket file from a dead daemon would make bind fail forever *)
-  (match (Unix.lstat cfg.socket_path).Unix.st_kind with
-  | Unix.S_SOCK -> Unix.unlink cfg.socket_path
-  | _ -> ()
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try
-     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-     Unix.listen listen_fd cfg.backlog
-   with e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-     raise e);
+  let cache = Ops.load_or_create_cache cfg in
+  let listen_fd = Ops.bind_listen_socket cfg in
   let st =
     {
       cfg;
@@ -576,7 +419,12 @@ let run ?on_ready cfg =
           st.conns <- fd :: st.conns;
           st.active <- st.active + 1;
           st.svc.Codar.Stats.connections <-
-            st.svc.Codar.Stats.connections + 1);
+            st.svc.Codar.Stats.connections + 1;
+          st.svc.Codar.Stats.conns_active <-
+            st.svc.Codar.Stats.conns_active + 1;
+          if st.svc.Codar.Stats.conns_active > st.svc.Codar.Stats.conns_peak
+          then
+            st.svc.Codar.Stats.conns_peak <- st.svc.Codar.Stats.conns_active);
       ignore (Thread.create (handle_connection st) fd);
       accept_loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
@@ -602,12 +450,11 @@ let run ?on_ready cfg =
   Thread.join dispatcher_thread;
   Option.iter Thread.join ticker_thread;
   Pool.shutdown st.pool;
-  (match cfg.cache_file with
-  | Some path -> (
-    try Cache.save st.cache path
-    with Sys_error msg ->
-      Printf.eprintf "codar serve: could not save cache to %s: %s\n%!" path
-        msg)
-  | None -> ());
+  Ops.save_cache_at_exit cfg st.cache;
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
   st.svc
+
+let run ?on_ready cfg =
+  match cfg.io_model with
+  | Config.Evented -> Evented.run ?on_ready cfg
+  | Config.Threaded -> run_threaded ?on_ready cfg

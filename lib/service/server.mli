@@ -3,7 +3,8 @@
     a content-addressed {!Cache} when it can.
 
     Guarantees (asserted by test/test_service.ml, test/test_faults.ml and
-    the service-smoke / fault-smoke rules):
+    the service-smoke / fault-smoke rules), holding under {e both} I/O
+    models:
 
     - {b Byte-identical replay} — a cache hit replies with exactly the
       bytes of the cold route reply for the same request content.
@@ -19,8 +20,8 @@
       persistence faults.
     - {b Admission control} — a route request that finds the job queue
       full is refused with the typed [overloaded] error instead of
-      blocking its connection thread; {!Client.request_with_retry}
-      implements the client half (seeded-jitter backoff).
+      blocking; {!Client.request_with_retry} implements the client half
+      (seeded-jitter backoff).
     - {b Deadlines} — with [timeout_ms] set, a request frame stalled
       mid-transmission or a route that waits/computes past the deadline
       is answered [deadline_exceeded]; neither blocks other connections.
@@ -28,33 +29,18 @@
       the accept loop, finish in-flight work, persist the cache when
       configured and make {!run} return normally (exit 0 in the CLI).
 
-    Threading: one thread per connection, a single dispatcher thread that
-    owns the Domain pool and drains a bounded job queue in batches, and —
-    only when [timeout_ms] is set — a ticker thread that periodically
-    broadcasts the condition variable so deadline waiters can observe
-    expiry (the stdlib [Condition] has no timed wait). *)
+    I/O models ({!Config.io_model}, [serve --io-model]):
 
-type config = private {
-  socket_path : string;
-  jobs : int;  (** Domain-pool width for routing *)
-  cache_entries : int;
-  cache_bytes : int option;
-  cache_file : string option;
-      (** loaded at startup when present; saved on shutdown and by the
-          [cache save] request *)
-  max_request_bytes : int;
-  queue_capacity : int;  (** bound on not-yet-dispatched routing jobs *)
-  backlog : int;
-  timeout_ms : int option;
-      (** per-request deadline: bounds both mid-frame read stalls and the
-          wait for a routing outcome; [None] (default) waits forever *)
-  handle_signals : bool;
-      (** install SIGTERM/SIGINT handlers that drain gracefully; off by
-          default so in-process tests keep their signal dispositions *)
-  on_route_start : (string -> unit) option;
-      (** test hook, called with the fingerprint as each routing job
-          starts (possibly from a pool domain) *)
-}
+    - {b Evented} (default) — one I/O thread multiplexes every client
+      socket via [Unix.select] over non-blocking fds with per-connection
+      buffers; routing outcomes return over a self-pipe; both deadline
+      kinds fold into the select timeout; a write-buffer high-watermark
+      backpressures slow consumers ({!Evented}).
+    - {b Threaded} — one thread per connection, a dispatcher thread that
+      owns the Domain pool, and (when [timeout_ms] is set) a ticker
+      thread that broadcasts so deadline waiters can observe expiry. *)
+
+type config = Config.t
 
 val config :
   ?jobs:int ->
@@ -66,21 +52,26 @@ val config :
   ?backlog:int ->
   ?timeout_ms:int ->
   ?handle_signals:bool ->
+  ?io_model:Config.io_model ->
+  ?write_watermark_bytes:int ->
   ?on_route_start:(string -> unit) ->
   socket_path:string ->
   unit ->
   config
-(** Defaults: 1 job, 1024 cache entries, no byte cap, no cache file,
-    {!Frame.default_max_bytes}, queue capacity 64, backlog 64, no
-    deadline, no signal handling. Raises [Invalid_argument] on [jobs < 1],
-    [queue_capacity < 1] or [timeout_ms < 1]. *)
+(** {!Config.make}: defaults are 1 job, 1024 cache entries, no byte cap,
+    no cache file, {!Frame.default_max_bytes}, queue capacity 64,
+    backlog 64, no deadline, no signal handling, [Evented],
+    {!Config.default_write_watermark_bytes}. Raises [Invalid_argument]
+    on [jobs < 1], [queue_capacity < 1], [timeout_ms < 1] or
+    [write_watermark_bytes < 1]. *)
 
 val run : ?on_ready:(unit -> unit) -> config -> Codar.Stats.service
 (** Bind (unlinking a stale socket file first), serve until a [shutdown]
     request (or, with [handle_signals], SIGTERM/SIGINT), then drain
-    in-flight work, join every connection, persist the cache when
+    in-flight work, flush every connection, persist the cache when
     configured, unlink the socket and return the final service counters.
-    A corrupt or truncated cache file at startup logs a warning to stderr
-    and starts cold — it never prevents serving. [on_ready] fires once
-    the socket is listening (tests start their clients from it). Raises
+    Dispatches on [cfg.io_model] ({!Evented.run} by default). A corrupt
+    or truncated cache file at startup logs a warning to stderr and
+    starts cold — it never prevents serving. [on_ready] fires once the
+    socket is listening (tests start their clients from it). Raises
     [Unix.Unix_error] when the socket cannot be bound. *)

@@ -384,6 +384,176 @@ let test_cache_survives_restart () =
         (counter [ "cache"; "hits" ] stats);
       ignore (shutdown_and_join sock server))
 
+(* ------------------------------------------------- evented loop details *)
+
+(* The select-timeout computation is pure; pin that the nearest armed
+   deadline bounds the sleep (no ticker thread to paper over a miss). *)
+let test_select_timeout () =
+  let st = Service.Evented.select_timeout in
+  Alcotest.(check (float 1e-9))
+    "no deadlines: sleep until an fd event" (-1.)
+    (st ~now:100. []);
+  Alcotest.(check (float 1e-9))
+    "nearest deadline bounds the sleep" 0.25
+    (st ~now:100. [ 100.75; 100.25; 101. ]);
+  Alcotest.(check (float 1e-9))
+    "expired deadline: poll immediately" 0.
+    (st ~now:100. [ 99.5; 100.75 ]);
+  Alcotest.(check (float 1e-9))
+    "exact deadline: poll immediately" 0.
+    (st ~now:100. [ 100. ])
+
+let test_connection_observability () =
+  let sock = temp_sock "obs" in
+  let server = start (Service.Server.config ~jobs:1 ~socket_path:sock ()) in
+  Service.Client.with_connection sock (fun a ->
+      Service.Client.with_connection sock (fun b ->
+          Alcotest.(check bool) "first connection serves" true
+            (reply_ok (Service.Client.request a {|{"op":"ping"}|}));
+          let stats = Service.Client.request b {|{"op":"stats"}|} in
+          Alcotest.(check int) "two connections accepted" 2
+            (counter [ "service"; "connections" ] stats);
+          Alcotest.(check int) "both still active" 2
+            (counter [ "service"; "conns_active" ] stats);
+          Alcotest.(check int) "peak is two" 2
+            (counter [ "service"; "conns_peak" ] stats);
+          Alcotest.(check bool) "request bytes counted" true
+            (counter [ "service"; "bytes_in" ] stats > 0);
+          Alcotest.(check bool) "reply bytes counted" true
+            (counter [ "service"; "bytes_out" ] stats > 0);
+          Alcotest.(check int) "no stalls from healthy clients" 0
+            (counter [ "service"; "wb_stalls" ] stats)));
+  let svc = shutdown_and_join sock server in
+  Alcotest.(check int) "active connections drain to zero" 0
+    svc.Codar.Stats.conns_active;
+  Alcotest.(check bool) "final peak at least two" true
+    (svc.Codar.Stats.conns_peak >= 2)
+
+(* A deliberately slow-reading client: thousands of pipelined warm
+   requests, no reads until every request is written. Its reply bytes
+   back up past the (tiny, for the test) high-watermark, so the daemon
+   must stop reading it — and count the stall — while other connections
+   stay fully served; once the slow reader finally drains, every one of
+   its replies must still be complete and byte-identical. *)
+let test_backpressure_slow_reader () =
+  let sock = temp_sock "backpressure" in
+  let server =
+    start
+      (Service.Server.config ~jobs:1 ~write_watermark_bytes:2048
+         ~socket_path:sock ())
+  in
+  let reference = request sock route_qft4 in
+  Alcotest.(check bool) "warm reference ok" true (reply_ok reference);
+  (* ~90 KB of requests (safely under the kernel socket buffers, so the
+     un-read pipeline cannot deadlock the test's own blocking writes)
+     producing far more reply bytes than the kernel will buffer *)
+  let n = 2000 in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let payload =
+    String.concat "" (List.init n (fun _ -> route_qft4 ^ "\n"))
+  in
+  let len = String.length payload in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd payload !pos (len - !pos)
+  done;
+  (* the slow reader's backlog must not block anyone else *)
+  Alcotest.(check bool) "other connections still served" true
+    (reply_ok (request sock {|{"op":"ping"}|}));
+  (* drain: all n replies, each complete and byte-identical *)
+  let ic = Unix.in_channel_of_descr fd in
+  let all_identical = ref true in
+  for _ = 1 to n do
+    let line = input_line ic in
+    if not (String.equal line reference) then all_identical := false
+  done;
+  Alcotest.(check bool) "every backed-up reply byte-identical" true
+    !all_identical;
+  let stats = request sock {|{"op":"stats"}|} in
+  Alcotest.(check bool) "stall episodes counted" true
+    (counter [ "service"; "wb_stalls" ] stats >= 1);
+  Alcotest.(check int) "replies still served from one computation" 1
+    (counter [ "service"; "routes_computed" ] stats);
+  Unix.close fd;
+  let svc = shutdown_and_join sock server in
+  Alcotest.(check bool) "final stall counter kept" true
+    (svc.Codar.Stats.wb_stalls >= 1)
+
+let test_request_many_pipelining () =
+  let sock = temp_sock "pipeline" in
+  let server = start (Service.Server.config ~jobs:1 ~socket_path:sock ()) in
+  let warm = request sock route_qft4 in
+  Service.Client.with_connection sock (fun t ->
+      let replies =
+        Service.Client.request_many t
+          [ {|{"op":"ping","id":1}|}; route_qft4; {|{"op":"ping","id":2}|} ]
+      in
+      match replies with
+      | [ p1; r; p2 ] ->
+        Alcotest.(check string) "first reply in order"
+          {|{"ok":true,"op":"ping","id":1,"reply":"pong"}|} p1;
+        Alcotest.(check string) "route reply identical to the one-shot path"
+          warm r;
+        Alcotest.(check string) "last reply in order"
+          {|{"ok":true,"op":"ping","id":2,"reply":"pong"}|} p2
+      | replies ->
+        Alcotest.failf "expected 3 replies, got %d" (List.length replies));
+  (* a pipeline big enough to force interleaved write/read *)
+  Service.Client.with_connection sock (fun t ->
+      let n = 500 in
+      let replies =
+        Service.Client.request_many t (List.init n (fun _ -> route_qft4))
+      in
+      Alcotest.(check int) "one reply per pipelined request" n
+        (List.length replies);
+      Alcotest.(check bool) "all byte-identical" true
+        (List.for_all (String.equal warm) replies));
+  ignore (shutdown_and_join sock server)
+
+(* The threaded implementation stays selectable — and frame-for-frame
+   interchangeable with the evented default. *)
+let test_threaded_io_model () =
+  let sock = temp_sock "threaded" in
+  let server =
+    start
+      (Service.Server.config ~jobs:2 ~io_model:Service.Config.Threaded
+         ~socket_path:sock ())
+  in
+  let cold = request sock route_qft4 in
+  Alcotest.(check bool) "threaded cold route ok" true (reply_ok cold);
+  let hit = request sock route_qft4 in
+  Alcotest.(check string) "threaded replay byte-identical" cold hit;
+  let stats = request sock {|{"op":"stats"}|} in
+  Alcotest.(check int) "threaded counts connections" 3
+    (counter [ "service"; "connections" ] stats);
+  Alcotest.(check bool) "threaded counts bytes" true
+    (counter [ "service"; "bytes_out" ] stats > 0);
+  ignore (shutdown_and_join sock server);
+  (* same request against an evented daemon: identical frame bytes *)
+  let sock2 = temp_sock "threaded-x" in
+  let server2 =
+    start
+      (Service.Server.config ~jobs:2 ~io_model:Service.Config.Evented
+         ~socket_path:sock2 ())
+  in
+  let evented_cold = request sock2 route_qft4 in
+  (* identical frames up to the record's wall-clock field — the routing
+     result and serialisation agree; only the measured time differs *)
+  let before_wall s =
+    let pat = {|"wall_s":|} in
+    let plen = String.length pat and slen = String.length s in
+    let rec find i =
+      if i + plen > slen then s
+      else if String.equal (String.sub s i plen) pat then String.sub s 0 i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check string) "io models agree byte-for-byte (modulo wall_s)"
+    (before_wall cold) (before_wall evented_cold);
+  ignore (shutdown_and_join sock2 server2)
+
 let () =
   Alcotest.run "service"
     [
@@ -399,6 +569,18 @@ let () =
             test_hostile_frame_battery;
           Alcotest.test_case "cache survives restart" `Quick
             test_cache_survives_restart;
+        ] );
+      ( "evented",
+        [
+          Alcotest.test_case "select timeout" `Quick test_select_timeout;
+          Alcotest.test_case "connection observability" `Quick
+            test_connection_observability;
+          Alcotest.test_case "backpressure slow reader" `Quick
+            test_backpressure_slow_reader;
+          Alcotest.test_case "request_many pipelining" `Quick
+            test_request_many_pipelining;
+          Alcotest.test_case "threaded io-model" `Quick
+            test_threaded_io_model;
         ] );
       ( "protocol",
         [
