@@ -28,16 +28,24 @@ type t = {
   handle_signals : bool;
   io_model : io_model;
   write_watermark_bytes : int;
+  max_connections : int;
   on_route_start : (string -> unit) option;
 }
 
 let default_write_watermark_bytes = 256 * 1024
 
+(* [Unix.select] rejects fds >= FD_SETSIZE (1024 on Linux), so the
+   evented loop must bound its concurrent connections well under that,
+   leaving headroom for the listen fd, the self-pipe, std streams and
+   transient fds (cache persistence). *)
+let default_max_connections = 960
+
 let make ?(jobs = 1) ?(cache_entries = 1024) ?cache_bytes ?cache_file
     ?(max_request_bytes = Frame.default_max_bytes) ?(queue_capacity = 64)
     ?(backlog = 64) ?timeout_ms ?(handle_signals = false)
     ?(io_model = Evented)
-    ?(write_watermark_bytes = default_write_watermark_bytes) ?on_route_start
+    ?(write_watermark_bytes = default_write_watermark_bytes)
+    ?(max_connections = default_max_connections) ?on_route_start
     ~socket_path () =
   if jobs < 1 then invalid_arg "Server.config: jobs < 1";
   if queue_capacity < 1 then invalid_arg "Server.config: queue_capacity < 1";
@@ -46,6 +54,8 @@ let make ?(jobs = 1) ?(cache_entries = 1024) ?cache_bytes ?cache_file
   | Some _ | None -> ());
   if write_watermark_bytes < 1 then
     invalid_arg "Server.config: write_watermark_bytes < 1";
+  if max_connections < 1 then
+    invalid_arg "Server.config: max_connections < 1";
   {
     socket_path;
     jobs;
@@ -59,5 +69,6 @@ let make ?(jobs = 1) ?(cache_entries = 1024) ?cache_bytes ?cache_file
     handle_signals;
     io_model;
     write_watermark_bytes;
+    max_connections;
     on_route_start;
   }

@@ -33,6 +33,13 @@ type t = {
       (** backpressure threshold: a connection whose buffered unsent
           reply bytes exceed this stops being read until the buffer
           drains below it again (evented server only) *)
+  max_connections : int;
+      (** concurrent-connection cap for the evented server: at the cap
+          the listen fd stops being polled, so further connections wait
+          in the kernel's listen backlog until a slot frees. Required
+          because [Unix.select] rejects fds at or beyond FD_SETSIZE
+          (1024); keep it under {!default_max_connections} unless you
+          know the process fd budget *)
   on_route_start : (string -> unit) option;
       (** test hook, called with the fingerprint as each routing job
           starts (possibly from a pool domain) *)
@@ -40,6 +47,10 @@ type t = {
 
 val default_write_watermark_bytes : int
 (** 256 KiB — enough that a healthy client never trips it. *)
+
+val default_max_connections : int
+(** 960 — safely under select's FD_SETSIZE (1024), leaving headroom for
+    the listen fd, the self-pipe, std streams and transient fds. *)
 
 val make :
   ?jobs:int ->
@@ -53,6 +64,7 @@ val make :
   ?handle_signals:bool ->
   ?io_model:io_model ->
   ?write_watermark_bytes:int ->
+  ?max_connections:int ->
   ?on_route_start:(string -> unit) ->
   socket_path:string ->
   unit ->
@@ -60,6 +72,7 @@ val make :
 (** Defaults: 1 job, 1024 cache entries, no byte cap, no cache file,
     {!Frame.default_max_bytes}, queue capacity 64, backlog 64, no
     deadline, no signal handling, [Evented],
-    {!default_write_watermark_bytes}. Raises [Invalid_argument] on
-    [jobs < 1], [queue_capacity < 1], [timeout_ms < 1] or
-    [write_watermark_bytes < 1]. *)
+    {!default_write_watermark_bytes}, {!default_max_connections}.
+    Raises [Invalid_argument] on [jobs < 1], [queue_capacity < 1],
+    [timeout_ms < 1], [write_watermark_bytes < 1] or
+    [max_connections < 1]. *)

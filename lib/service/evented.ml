@@ -89,6 +89,10 @@ type state = {
   chunk : Bytes.t;  (* loop-thread read scratch *)
   dirtyq : conn Queue.t;  (* conns with an event to service this turn *)
   mutable sweep_pending : bool;  (* the self-pipe fired: outcomes landed *)
+  mutable accept_pause_until : float;
+      (* fd exhaustion (EMFILE/ENFILE): stop polling the listen fd until
+         this instant instead of busy-spinning on a readable fd we
+         cannot accept from *)
 }
 
 let locked st f =
@@ -406,7 +410,10 @@ let process_input st c now =
   | Some last ->
     Buffer.clear c.ibuf;
     Buffer.add_substring c.ibuf s (last + 1) (String.length s - last - 1);
-    c.frame_start <- None;
+    (* a leftover partial frame restarts the clock rather than clearing
+       it: a pipelined chunk ending mid-frame must still observe the
+       read deadline (Frame.read re-arms the same way) *)
+    c.frame_start <- (if Buffer.length c.ibuf > 0 then Some now else None);
     List.iter
       (fun l -> Queue.add l c.pending_lines)
       (String.split_on_char '\n' (String.sub s 0 last)));
@@ -447,9 +454,10 @@ let read_conn st c now =
     touch st c
   | `Data n ->
     st.svc.Codar.Stats.bytes_in <- st.svc.Codar.Stats.bytes_in + n;
-    if Buffer.length c.ibuf = 0 && c.frame_start = None then
-      c.frame_start <- Some now;
     Buffer.add_subbytes c.ibuf st.chunk 0 n;
+    (* invariant: a reading connection with buffered bytes always has an
+       armed clock ([process_input] re-arms it for leftover partials) *)
+    if c.frame_start = None then c.frame_start <- Some now;
     touch st c
 
 (* Resolve waiting slots against published outcomes and route deadlines.
@@ -493,7 +501,10 @@ let sweep_slots st now =
 
 (* Mid-frame read deadlines: a partial frame older than the timeout is
    answered [deadline_exceeded] and the connection dropped (framing is
-   suspect once its bytes are abandoned). *)
+   suspect once its bytes are abandoned). A stalled connection is
+   exempt — the server itself paused reading it at the write watermark,
+   so the wait is not the client's fault; [service_conn] restarts its
+   clock when the stall lifts. *)
 let expire_frames st now =
   match st.cfg.timeout_ms with
   | None -> ()
@@ -503,7 +514,9 @@ let expire_frames st now =
       Hashtbl.fold
         (fun _ c acc ->
           match c.frame_start with
-          | Some fs when c.reading && now -. fs >= limit -> c :: acc
+          | Some fs when c.reading && (not c.stalled) && now -. fs >= limit
+            ->
+            c :: acc
           | _ -> acc)
         st.conns []
     in
@@ -519,7 +532,7 @@ let expire_frames st now =
 
 (* Serialise complete replies, push bytes, apply the watermark, close
    when flushed-and-done. Safe to call repeatedly. *)
-let service_conn st c =
+let service_conn st c now =
   if Hashtbl.mem st.conns c.fd then begin
     drain_replies st c;
     if Hashtbl.mem st.conns c.fd then begin
@@ -534,6 +547,9 @@ let service_conn st c =
         else if c.stalled && c.obytes <= st.cfg.write_watermark_bytes / 2
         then begin
           c.stalled <- false;
+          (* the frame clock was paused for the stall's duration; restart
+             it so the server-imposed pause is not charged to the client *)
+          if c.frame_start <> None then c.frame_start <- Some now;
           (* lines buffered while stalled are the only pending work; no
              fd event will re-surface this connection *)
           touch st c
@@ -565,8 +581,12 @@ let drain_wake st =
 
 let accept_ready st =
   let rec go () =
-    match Unix.accept st.listen_fd with
-    | fd, _ ->
+    (* re-check the cap inside the burst loop: one readable event can
+       carry many queued connections *)
+    if Hashtbl.length st.conns >= st.cfg.max_connections then ()
+    else
+      match Unix.accept st.listen_fd with
+      | fd, _ ->
       Unix.set_nonblock fd;
       let c =
         {
@@ -591,11 +611,16 @@ let accept_ready st =
       if st.svc.Codar.Stats.conns_active > st.svc.Codar.Stats.conns_peak then
         st.svc.Codar.Stats.conns_peak <- st.svc.Codar.Stats.conns_active;
       go ()
-    | exception
-        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      ->
-      ()
-    | exception Unix.Unix_error _ -> () (* listen fd shut down: stop path *)
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+        (* the process (or system) is out of fds: leave the connection
+           queued and back off — polling a listen fd we cannot accept
+           from would spin the loop at 100% CPU *)
+        st.accept_pause_until <- Unix.gettimeofday () +. 0.05
+      | exception Unix.Unix_error _ -> () (* listen fd shut down: stop path *)
   in
   go ()
 
@@ -637,7 +662,7 @@ let loop st =
         c.dirty <- false;
         if Hashtbl.mem st.conns c.fd then begin
           process_input st c now;
-          service_conn st c
+          service_conn st c now
         end;
         drain_dirty ()
     in
@@ -651,7 +676,7 @@ let loop st =
             let w = if c.obytes > 0 then fd :: w else w in
             let d =
               match (st.cfg.timeout_ms, c.frame_start) with
-              | Some ms, Some fs when c.reading ->
+              | Some ms, Some fs when c.reading && not c.stalled ->
                 (fs +. (float_of_int ms /. 1000.)) :: d
               | _ -> d
             in
@@ -673,7 +698,21 @@ let loop st =
             (r, w, d))
           st.conns ([ st.wake_r ], [], [])
       in
-      let reads = if st.stop then reads else st.listen_fd :: reads in
+      (* the listen fd is polled only while the daemon can actually take
+         another connection: not draining, under the connection cap
+         (select's fixed FD_SETSIZE makes the cap a hard requirement,
+         not a tunable), and not backing off from fd exhaustion *)
+      let at_cap = Hashtbl.length st.conns >= st.cfg.max_connections in
+      let accept_paused = st.accept_pause_until > now in
+      let deadlines =
+        if accept_paused && (not st.stop) && not at_cap then
+          st.accept_pause_until :: deadlines
+        else deadlines
+      in
+      let reads =
+        if st.stop || at_cap || accept_paused then reads
+        else st.listen_fd :: reads
+      in
       let nearest =
         match deadlines with
         | [] -> None
@@ -681,8 +720,26 @@ let loop st =
       in
       let timeout = select_timeout ~now:(Unix.gettimeofday ()) deadlines in
       let readable, writable, _ =
-        try Unix.select reads writes [] timeout
-        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        try Unix.select reads writes [] timeout with
+        | Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        | Unix.Unix_error (Unix.EINVAL, _, _)
+          when Hashtbl.length st.conns > 0 ->
+          (* an fd slipped past select's FD_SETSIZE despite the
+             connection cap (other parts of the process hold high fds):
+             shed the newest — highest-numbered — connection instead of
+             letting the whole daemon die *)
+          let victim =
+            Hashtbl.fold
+              (fun fd c acc ->
+                match acc with
+                | Some (vfd, _) when compare vfd fd >= 0 -> acc
+                | _ -> Some (fd, c))
+              st.conns None
+          in
+          (match victim with
+          | Some (_, c) -> disconnect st c
+          | None -> ());
+          ([], [], [])
       in
       let now = Unix.gettimeofday () in
       if List.mem st.wake_r readable then begin
@@ -744,6 +801,7 @@ let run ?on_ready cfg =
       chunk = Bytes.create 65536;
       dirtyq = Queue.create ();
       sweep_pending = true;
+      accept_pause_until = 0.;
     }
   in
   if cfg.handle_signals then begin

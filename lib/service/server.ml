@@ -304,13 +304,15 @@ let handle_connection st fd =
     Option.map (fun ms -> float_of_int ms /. 1000.) st.cfg.timeout_ms
   in
   let send frame ~ok =
+    (* count before writing: a client that has its reply in hand (and
+       immediately asks for stats on another connection) must already see
+       these bytes in the counters *)
+    locked st (fun () ->
+        st.svc.Codar.Stats.bytes_out <-
+          st.svc.Codar.Stats.bytes_out + String.length frame + 1);
+    count_reply st ok;
     match Frame.write ~inject:true fd frame with
-    | () ->
-      locked st (fun () ->
-          st.svc.Codar.Stats.bytes_out <-
-            st.svc.Codar.Stats.bytes_out + String.length frame + 1);
-      count_reply st ok;
-      true
+    | () -> true
     | exception Unix.Unix_error _ ->
       locked st (fun () ->
           st.svc.Codar.Stats.disconnects <- st.svc.Codar.Stats.disconnects + 1);

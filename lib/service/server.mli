@@ -54,6 +54,7 @@ val config :
   ?handle_signals:bool ->
   ?io_model:Config.io_model ->
   ?write_watermark_bytes:int ->
+  ?max_connections:int ->
   ?on_route_start:(string -> unit) ->
   socket_path:string ->
   unit ->
@@ -61,9 +62,10 @@ val config :
 (** {!Config.make}: defaults are 1 job, 1024 cache entries, no byte cap,
     no cache file, {!Frame.default_max_bytes}, queue capacity 64,
     backlog 64, no deadline, no signal handling, [Evented],
-    {!Config.default_write_watermark_bytes}. Raises [Invalid_argument]
-    on [jobs < 1], [queue_capacity < 1], [timeout_ms < 1] or
-    [write_watermark_bytes < 1]. *)
+    {!Config.default_write_watermark_bytes},
+    {!Config.default_max_connections}. Raises [Invalid_argument] on
+    [jobs < 1], [queue_capacity < 1], [timeout_ms < 1],
+    [write_watermark_bytes < 1] or [max_connections < 1]. *)
 
 val run : ?on_ready:(unit -> unit) -> config -> Codar.Stats.service
 (** Bind (unlinking a stale socket file first), serve until a [shutdown]

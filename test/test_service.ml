@@ -403,6 +403,76 @@ let test_select_timeout () =
     "exact deadline: poll immediately" 0.
     (st ~now:100. [ 100. ])
 
+(* Regression: a read chunk carrying a complete frame *and* the start of
+   the next one must keep the mid-frame deadline armed for the partial
+   tail. The loop used to clear the clock after extracting complete
+   lines, so a pipelining client could hold a connection (and its
+   buffers) forever with an unfinished trailer. *)
+let test_pipelined_partial_frame_deadline () =
+  let sock = temp_sock "partial" in
+  let server =
+    start
+      (Service.Server.config ~jobs:1 ~timeout_ms:200 ~socket_path:sock ())
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let payload = "{\"op\":\"ping\"}\n{\"op\":\"pi" in
+  ignore (Unix.write_substring fd payload 0 (String.length payload));
+  let ic = Unix.in_channel_of_descr fd in
+  Alcotest.(check bool) "complete frame answered" true
+    (reply_ok (input_line ic));
+  (* the partial trailer must expire, not hang forever *)
+  Alcotest.(check string) "partial trailer expires" "deadline_exceeded"
+    (reply_code (input_line ic));
+  Alcotest.(check bool) "connection dropped after the abandoned frame" true
+    (match input_line ic with
+    | _ -> false
+    | exception End_of_file -> true);
+  Unix.close fd;
+  Alcotest.(check bool) "daemon survives" true
+    (reply_ok (request sock {|{"op":"ping"}|}));
+  ignore (shutdown_and_join sock server)
+
+(* At the connection cap the daemon stops polling its listen fd —
+   further connections wait in the kernel backlog instead of pushing
+   select past FD_SETSIZE — and accepts again the moment a slot frees. *)
+let test_connection_cap () =
+  let sock = temp_sock "cap" in
+  let server =
+    start
+      (Service.Server.config ~jobs:1 ~max_connections:2 ~socket_path:sock ())
+  in
+  let a = Service.Client.connect sock in
+  let b = Service.Client.connect sock in
+  Alcotest.(check bool) "first capped connection serves" true
+    (reply_ok (Service.Client.request a {|{"op":"ping"}|}));
+  Alcotest.(check bool) "second capped connection serves" true
+    (reply_ok (Service.Client.request b {|{"op":"ping"}|}));
+  (* a third connection lands in the backlog: connect succeeds, but
+     nothing answers while both slots are held *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let ping = "{\"op\":\"ping\"}\n" in
+  ignore (Unix.write_substring fd ping 0 (String.length ping));
+  (match Unix.select [ fd ] [] [] 0.3 with
+  | [], _, _ -> ()
+  | _ -> Alcotest.fail "over-cap connection was served while at the cap");
+  Service.Client.close a;
+  let ic = Unix.in_channel_of_descr fd in
+  Alcotest.(check bool) "queued connection served once a slot freed" true
+    (reply_ok (input_line ic));
+  let stats = Service.Client.request b {|{"op":"stats"}|} in
+  Alcotest.(check int) "peak never exceeded the cap" 2
+    (counter [ "service"; "conns_peak" ] stats);
+  Alcotest.(check string) "shutdown acknowledged"
+    {|{"ok":true,"op":"shutdown"}|}
+    (Service.Client.request b {|{"op":"shutdown"}|});
+  Unix.close fd;
+  Service.Client.close b;
+  let svc = join server in
+  Alcotest.(check int) "final peak stayed at the cap" 2
+    svc.Codar.Stats.conns_peak
+
 let test_connection_observability () =
   let sock = temp_sock "obs" in
   let server = start (Service.Server.config ~jobs:1 ~socket_path:sock ()) in
@@ -440,7 +510,7 @@ let test_backpressure_slow_reader () =
   let server =
     start
       (Service.Server.config ~jobs:1 ~write_watermark_bytes:2048
-         ~socket_path:sock ())
+         ~timeout_ms:250 ~socket_path:sock ())
   in
   let reference = request sock route_qft4 in
   Alcotest.(check bool) "warm reference ok" true (reply_ok reference);
@@ -452,6 +522,10 @@ let test_backpressure_slow_reader () =
   Unix.connect fd (Unix.ADDR_UNIX sock);
   let payload =
     String.concat "" (List.init n (fun _ -> route_qft4 ^ "\n"))
+    (* plus a partial trailer: its read deadline must pause while the
+       server itself has stalled this connection at the watermark — a
+       stall is the server's refusal to read, not a client offence *)
+    ^ {|{"op":"pi|}
   in
   let len = String.length payload in
   let pos = ref 0 in
@@ -461,6 +535,17 @@ let test_backpressure_slow_reader () =
   (* the slow reader's backlog must not block anyone else *)
   Alcotest.(check bool) "other connections still served" true
     (reply_ok (request sock {|{"op":"ping"}|}));
+  (* nothing is being read from [fd], and the replies far exceed the
+     kernel socket buffer, so the watermark must trip; wait for it
+     before draining (the drain itself races the stall otherwise) *)
+  let rec wait_stall () =
+    let stats = request sock {|{"op":"stats"}|} in
+    if counter [ "service"; "wb_stalls" ] stats < 1 then begin
+      Thread.yield ();
+      wait_stall ()
+    end
+  in
+  wait_stall ();
   (* drain: all n replies, each complete and byte-identical *)
   let ic = Unix.in_channel_of_descr fd in
   let all_identical = ref true in
@@ -470,6 +555,11 @@ let test_backpressure_slow_reader () =
   done;
   Alcotest.(check bool) "every backed-up reply byte-identical" true
     !all_identical;
+  (* only once the stalls have lifted does the trailer's clock run; it
+     then expires as usual — after every buffered reply was delivered *)
+  Alcotest.(check string) "partial trailer expires after the drain"
+    "deadline_exceeded"
+    (reply_code (input_line ic));
   let stats = request sock {|{"op":"stats"}|} in
   Alcotest.(check bool) "stall episodes counted" true
     (counter [ "service"; "wb_stalls" ] stats >= 1);
@@ -573,6 +663,9 @@ let () =
       ( "evented",
         [
           Alcotest.test_case "select timeout" `Quick test_select_timeout;
+          Alcotest.test_case "pipelined partial-frame deadline" `Quick
+            test_pipelined_partial_frame_deadline;
+          Alcotest.test_case "connection cap" `Quick test_connection_cap;
           Alcotest.test_case "connection observability" `Quick
             test_connection_observability;
           Alcotest.test_case "backpressure slow reader" `Quick
