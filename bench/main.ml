@@ -401,6 +401,130 @@ let esp () =
     Workloads.Suite.all;
   Fmt.pr "CODAR wins or ties on %d / %d@." !wins !count
 
+(* ------------------------------------------------------- Objectives table *)
+
+(* Cross-objective comparison: every routing objective on every
+   (device, durations) cell of the evaluation set, one workload at a time.
+   Reported per cell: makespan, raw depth, SWAP count and (for calibrated
+   profiles) the analytic ESP — the table behind BENCH_PR8.json. *)
+let objectives_table ?json () =
+  Fmt.pr "@.== Cross-objective comparison (CODAR router) ==@.";
+  let cells =
+    [
+      ("tokyo", Arch.Devices.ibm_q20_tokyo, superconducting);
+      ("melbourne", Arch.Devices.ibm_q16_melbourne, superconducting);
+      ("linear-16", Arch.Devices.linear 16, Arch.Durations.ion_trap);
+      ( "grid-4x4",
+        Arch.Devices.grid ~rows:4 ~cols:4,
+        Arch.Durations.neutral_atom );
+    ]
+  in
+  let workloads = [ "qft_8"; "ghz_8"; "qaoa_6" ] in
+  let rows = ref [] in
+  let t2_wins = ref 0 and t2_cells = ref 0 in
+  List.iter
+    (fun (device, coupling, durations) ->
+      let maqam = Arch.Maqam.make ~coupling ~durations in
+      let n_physical = Arch.Coupling.n_qubits coupling in
+      let calibration = Arch.Calibration.for_durations durations in
+      List.iter
+        (fun wname ->
+          let circuit =
+            match Workloads.Suite.find wname with
+            | Some e -> Lazy.force e.Workloads.Suite.circuit
+            | None -> Fmt.failwith "objectives: benchmark %s missing" wname
+          in
+          let initial =
+            Sabre.Initial_mapping.reverse_traversal ~maqam circuit
+          in
+          Fmt.pr "@.-- %s on %s [%s] --@." wname device
+            (Arch.Durations.name durations);
+          Fmt.pr "%-10s %9s %6s %6s %12s@." "objective" "makespan" "depth"
+            "swaps" "esp";
+          let esp_of = Hashtbl.create 4 in
+          List.iter
+            (fun objective ->
+              let name = Objective.name objective in
+              let routed =
+                Codar.Remapper.run
+                  ~config:{ Codar.Remapper.default_config with objective }
+                  ~maqam ~initial circuit
+              in
+              (match
+                 Schedule.Verify.check_all ~maqam ~original:circuit routed
+               with
+              | Ok () -> ()
+              | Error e ->
+                Fmt.failwith "objectives: %s/%s/%s verify failed: %a" wname
+                  device name Schedule.Verify.pp_error e);
+              let depth =
+                Qc.Metrics.depth
+                  (Schedule.Routed.to_physical_circuit ~n_physical routed)
+              in
+              let swaps = Schedule.Routed.swap_count routed in
+              let esp =
+                Option.map
+                  (fun calibration ->
+                    Sim.Reliability.estimated_success ~calibration ~n_physical
+                      routed)
+                  calibration
+              in
+              Option.iter (Hashtbl.replace esp_of name) esp;
+              (match esp with
+              | Some e ->
+                Fmt.pr "%-10s %9d %6d %6d %12.6f@." name
+                  routed.Schedule.Routed.makespan depth swaps e
+              | None ->
+                Fmt.pr "%-10s %9d %6d %6d %12s@." name
+                  routed.Schedule.Routed.makespan depth swaps "-");
+              rows :=
+                Report.Json.Obj
+                  ([
+                     ("workload", Report.Json.String wname);
+                     ("device", Report.Json.String device);
+                     ( "durations",
+                       Report.Json.String (Arch.Durations.name durations) );
+                     ("objective", Report.Json.String name);
+                     ( "makespan",
+                       Report.Json.Int routed.Schedule.Routed.makespan );
+                     ("depth", Report.Json.Int depth);
+                     ("swaps", Report.Json.Int swaps);
+                   ]
+                  @
+                  match esp with
+                  | Some e -> [ ("esp", Report.Json.Float e) ]
+                  | None -> [])
+                :: !rows)
+            Objective.all;
+          match
+            ( Hashtbl.find_opt esp_of "t2",
+              Hashtbl.find_opt esp_of "makespan" )
+          with
+          | Some t2, Some mk ->
+            incr t2_cells;
+            if t2 > mk then incr t2_wins
+          | _ -> ())
+        workloads)
+    cells;
+  Fmt.pr "@.t2 beats makespan on ESP in %d / %d calibrated cells@." !t2_wins
+    !t2_cells;
+  match json with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Report.Json.Obj
+        [
+          ("schema", Report.Json.String "codar-bench-objectives/1");
+          ("t2_esp_wins", Report.Json.Int !t2_wins);
+          ("calibrated_cells", Report.Json.Int !t2_cells);
+          ("rows", Report.Json.List (List.rev !rows));
+        ]
+    in
+    let oc = open_out path in
+    Report.Json.output oc doc;
+    close_out oc;
+    Fmt.pr "wrote %s@." path
+
 (* ------------------------------------------------------------------- Perf *)
 
 let perf ?json () =
@@ -435,6 +559,8 @@ let perf ?json () =
       maqam = tokyo;
       router = `Codar;
       placement = Placement.Reverse_traversal 1;
+      objectives = [ Objective.makespan ];
+      metric = Codar.Portfolio.Makespan;
       restarts = 2;
       seed = 0;
       collect_stats = false;
@@ -1036,7 +1162,7 @@ let usage () =
   Fmt.epr
     "usage: main.exe \
      [all|table1|fig8|fig8-fast|fig9|ablation|initmap|swaps|baselines|esp|\
-     perf|smoke|loadgen] [-j|--jobs N] [--json PATH]\n\
+     objectives|perf|smoke|loadgen] [-j|--jobs N] [--json PATH]\n\
     \       main.exe loadgen [--conns N,N,..] [--duration S] [--smoke] \
      [--json PATH]@.";
   exit 2
@@ -1116,6 +1242,7 @@ let () =
       | [ "swaps" ] -> swaps ()
       | [ "baselines" ] -> baselines ()
       | [ "esp" ] -> esp ()
+      | [ "objectives" ] -> objectives_table ?json ()
       | [ "perf" ] -> perf ?json ()
       | [ "smoke" ] -> smoke ()
       | _ -> usage ()));

@@ -65,7 +65,7 @@ let router_name = Service.Engine.router_name
 (* One timed routing job: the shared driver in [Service.Engine] produces
    the record used by [map --json], every [batch] line, and the daemon. *)
 let route_record ?(restarts = 8) ?(seed = 0) ~collect_stats ~source ~placement
-    router maqam circuit =
+    ~objectives ~metric router maqam circuit =
   Service.Engine.route
     {
       Service.Engine.source_name = source;
@@ -73,10 +73,44 @@ let route_record ?(restarts = 8) ?(seed = 0) ~collect_stats ~source ~placement
       maqam;
       router;
       placement;
+      objectives;
+      metric;
       restarts;
       seed;
       collect_stats;
     }
+
+(* Shared by [map] and [batch]: resolve the -r string (which may carry
+   "codar:slack" inline sugar) plus --objective/--metric into the typed
+   triple, turning resolution errors into usage failures. *)
+let resolve_router_exn ~router ~objective ~metric ~durations =
+  match Service.Engine.resolve_router ~router ~objective ~metric ~durations with
+  | Ok triple -> triple
+  | Error msg -> Fmt.failwith "%s" msg
+
+let router_arg =
+  Arg.(
+    value & opt string "codar"
+    & info [ "router"; "r" ]
+        ~doc:"Routing algorithm: codar, sabre, astar, or portfolio (CODAR \
+              over --restarts random-restart initial layouts, deterministic \
+              best-of-K). codar takes an inline objective as \
+              $(b,codar:slack); see --objective.")
+
+let objective_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "objective" ]
+        ~doc:"Routing objective for the codar/portfolio routers: makespan \
+              (default), slack, depth, or t2. The portfolio accepts a comma \
+              list and cycles it over restarts.")
+
+let metric_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metric" ]
+        ~doc:"Portfolio selection metric: makespan (default), esp \
+              (needs a calibrated duration profile), or depth.")
 
 let map_cmd =
   let input =
@@ -92,18 +126,6 @@ let map_cmd =
   let durations =
     Arg.(value & opt durations_conv Arch.Durations.superconducting
          & info [ "durations"; "d" ] ~doc:"Duration profile: sc, ion, atom, uniform.")
-  in
-  let router =
-    Arg.(value
-         & opt
-             (enum
-                [ ("codar", `Codar); ("sabre", `Sabre); ("astar", `Astar);
-                  ("portfolio", `Portfolio) ])
-             `Codar
-         & info [ "router"; "r" ]
-             ~doc:"Routing algorithm: codar, sabre, astar, or portfolio \
-                   (CODAR over --restarts random-restart initial layouts, \
-                   deterministic best-of-K).")
   in
   let output =
     Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Write routed OpenQASM here.")
@@ -153,8 +175,8 @@ let map_cmd =
     Arg.(value & opt int 0
          & info [ "seed" ] ~doc:"Portfolio restart RNG seed.")
   in
-  let run input bench arch durations router output verify timeline compare_
-      placement optimize gantt stats csv json restarts seed =
+  let run input bench arch durations router objective metric output verify
+      timeline compare_ placement optimize gantt stats csv json restarts seed =
    guard @@ fun () ->
     let source =
       match (input, bench) with
@@ -162,12 +184,15 @@ let map_cmd =
       | None, Some b -> b
       | None, None -> "?"
     in
+    let router, objectives, metric =
+      resolve_router_exn ~router ~objective ~metric ~durations
+    in
     let circuit = load_circuit input bench in
     let circuit = if optimize then Qc.Optimize.optimize circuit else circuit in
     let maqam = Arch.Maqam.make ~coupling:arch ~durations in
     let record, result =
       route_record ~restarts ~seed ~collect_stats:stats ~source ~placement
-        router maqam circuit
+        ~objectives ~metric router maqam circuit
     in
     let router_stats = record.Report.Record.stats in
     Fmt.pr "device:        %s (%d qubits)@." (Arch.Coupling.name arch)
@@ -180,10 +205,18 @@ let map_cmd =
       (Schedule.Routed.gate_count result)
       (Schedule.Routed.swap_count result)
       result.Schedule.Routed.makespan;
+    (match router with
+    | `Codar | `Portfolio ->
+      Fmt.pr "objective:     %s@." record.Report.Record.objective
+    | `Sabre | `Astar -> ());
+    (match record.Report.Record.esp with
+    | Some e -> Fmt.pr "esp:           %.6f@." e
+    | None -> ());
     (match record.Report.Record.portfolio with
     | Some p ->
-      Fmt.pr "portfolio:     restart %d of %d won (scores %a)@."
+      Fmt.pr "portfolio:     restart %d of %d won by %s (scores %a)@."
         p.Report.Record.winner p.Report.Record.restarts
+        p.Report.Record.metric
         Fmt.(array ~sep:(any " ") int)
         p.Report.Record.scores
     | None -> ());
@@ -243,7 +276,8 @@ let map_cmd =
       Fmt.pr "wrote %s@." path
   in
   Cmd.v (Cmd.info "map" ~doc:"Route a circuit onto a device.")
-    Term.(const run $ input $ bench $ arch $ durations $ router $ output
+    Term.(const run $ input $ bench $ arch $ durations $ router_arg
+          $ objective_arg $ metric_arg $ output
           $ verify $ timeline $ compare_ $ placement $ optimize $ gantt
           $ stats $ csv $ json $ restarts $ seed)
 
@@ -270,16 +304,6 @@ let batch_cmd =
   let durations =
     Arg.(value & opt durations_conv Arch.Durations.superconducting
          & info [ "durations"; "d" ] ~doc:"Duration profile: sc, ion, atom, uniform.")
-  in
-  let router =
-    Arg.(value
-         & opt
-             (enum
-                [ ("codar", `Codar); ("sabre", `Sabre); ("astar", `Astar);
-                  ("portfolio", `Portfolio) ])
-             `Codar
-         & info [ "router"; "r" ]
-             ~doc:"Routing algorithm: codar, sabre, astar, portfolio.")
   in
   let placement_conv =
     let parse s =
@@ -323,9 +347,12 @@ let batch_cmd =
              ~doc:"Semantically verify every routed result; exit 1 on any \
                    failure.")
   in
-  let run inputs benches fitting arch durations router placement jobs restarts
-      seed json stats verify =
+  let run inputs benches fitting arch durations router objective metric
+      placement jobs restarts seed json stats verify =
    guard @@ fun () ->
+    let router, objectives, metric =
+      resolve_router_exn ~router ~objective ~metric ~durations
+    in
     let maqam = Arch.Maqam.make ~coupling:arch ~durations in
     (* load everything sequentially before the fan-out: QASM parsing and
        Lazy.force must not run concurrently *)
@@ -356,7 +383,7 @@ let batch_cmd =
             (fun _ (source, circuit) ->
               let record, routed =
                 route_record ~restarts ~seed ~collect_stats:stats ~source
-                  ~placement router maqam circuit
+                  ~placement ~objectives ~metric router maqam circuit
               in
               let verified =
                 if verify then
@@ -433,7 +460,8 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Route many circuits with a parallel, deterministic job pool.")
-    Term.(const run $ inputs $ benches $ fitting $ arch $ durations $ router
+    Term.(const run $ inputs $ benches $ fitting $ arch $ durations
+          $ router_arg $ objective_arg $ metric_arg
           $ placement $ jobs $ restarts $ seed $ json $ stats $ verify)
 
 (* ---------------------------------------------------------------- service *)
@@ -612,6 +640,19 @@ let client_cmd =
   let router =
     Arg.(value & opt (some string) None & info [ "router"; "r" ] ~doc:"Routing algorithm.")
   in
+  let objective =
+    Arg.(
+      value & opt (some string) None
+      & info [ "objective" ]
+          ~doc:"Routing objective (codar/portfolio routers): makespan, \
+                slack, depth, t2 — or a comma list for the portfolio.")
+  in
+  let metric =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metric" ]
+          ~doc:"Portfolio selection metric: makespan, esp, depth.")
+  in
   let placement =
     Arg.(value & opt (some string) None & info [ "placement"; "p" ] ~doc:"Initial mapping strategy.")
   in
@@ -666,8 +707,8 @@ let client_cmd =
         | Some _ | None -> exit_usage))
     | Error _ -> exit_io
   in
-  let run socket op input bench arch durations router placement restarts seed
-      stats file repeat retries retry_base_ms =
+  let run socket op input bench arch durations router objective metric
+      placement restarts seed stats file repeat retries retry_base_ms =
     guard @@ fun () ->
     if retries < 0 then Fmt.failwith "--retries must be >= 0";
     if repeat < 1 then Fmt.failwith "--repeat must be >= 1";
@@ -717,6 +758,8 @@ let client_cmd =
                    opt_str "arch" arch;
                    opt_str "durations" durations;
                    opt_str "router" router;
+                   opt_str "objective" objective;
+                   opt_str "metric" metric;
                    opt_str "placement" placement;
                    opt_int "restarts" restarts;
                    opt_int "seed" seed;
@@ -767,8 +810,8 @@ let client_cmd =
        ~doc:"Talk to a running `codar_cli serve` daemon.")
     Term.(
       const run $ socket_arg $ op $ input $ bench $ arch $ durations $ router
-      $ placement $ restarts $ seed $ stats $ file $ repeat $ retries
-      $ retry_base_ms)
+      $ objective $ metric $ placement $ restarts $ seed $ stats $ file
+      $ repeat $ retries $ retry_base_ms)
 
 let fuzz_cmd =
   let cases =
@@ -835,8 +878,16 @@ let fuzz_cmd =
                    derived from $(docv). A violated persistence invariant \
                    fails the case as oracle `fault-persistence`.")
   in
+  let objectives =
+    Arg.(value & flag
+         & info [ "objectives" ]
+             ~doc:"Additionally route every case under one rotated \
+                   non-makespan objective (slack, depth, t2 by case index); \
+                   the result must still pass verification and statevector \
+                   equivalence.")
+  in
   let run cases seed max_qubits archs durations sim_max_qubits shrink_budget
-      json corpus replay faults =
+      json corpus replay faults objectives =
     guard @@ fun () ->
     match replay with
     | Some dir ->
@@ -884,6 +935,7 @@ let fuzz_cmd =
           shrink_budget;
           corpus_dir = corpus;
           faults;
+          objectives;
         }
       in
       let result = Fuzz.Harness.run cfg in
@@ -942,7 +994,8 @@ let fuzz_cmd =
          ])
     Term.(
       const run $ cases $ seed $ max_qubits $ archs $ durations
-      $ sim_max_qubits $ shrink_budget $ json $ corpus $ replay $ faults)
+      $ sim_max_qubits $ shrink_budget $ json $ corpus $ replay $ faults
+      $ objectives)
 
 let devices_cmd =
   let run () =

@@ -56,6 +56,9 @@ let neutral_atom =
 
 let all_presets = [ superconducting; ion_trap; neutral_atom ]
 
+let for_durations d =
+  List.find_opt (fun c -> String.equal c.name (Durations.name d)) all_presets
+
 let pp ppf t =
   Fmt.pf ppf "%s: f1=%.4f f2=%.4f readout=%.3f T1=%g T2=%g" t.name
     t.one_qubit_fidelity t.two_qubit_fidelity t.readout_fidelity t.t1_cycles

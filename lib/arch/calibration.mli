@@ -45,4 +45,8 @@ val neutral_atom : t
 
 val all_presets : t list
 
+val for_durations : Durations.t -> t option
+(** The calibration preset matching a duration profile by name, if any
+    ([None] for "uniform" — the profile has no published fidelity data). *)
+
 val pp : Format.formatter -> t -> unit

@@ -127,10 +127,15 @@ let add_durations b durations =
   add_int b (Arch.Durations.swap durations);
   add_int b (Arch.Durations.measure durations)
 
-let canonical_bytes ?(collect_stats = false) ~circuit ~maqam ~router
-    ~placement ~restarts ~seed () =
+(* Version 2 (PR 8): the routing objective and portfolio selection metric
+   joined the option block, so the header bumped from codar-fp/1. Every v1
+   key is thereby invalidated wholesale — a v1 entry can never alias a v2
+   request, even one with the default makespan objective. *)
+let canonical_bytes ?(collect_stats = false) ?(objective = "makespan")
+    ?(metric = "makespan") ~circuit ~maqam ~router ~placement ~restarts ~seed
+    () =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "codar-fp/1\n";
+  Buffer.add_string b "codar-fp/2\n";
   add_circuit b circuit;
   Buffer.add_char b '\n';
   add_coupling b (Arch.Maqam.coupling maqam);
@@ -139,15 +144,17 @@ let canonical_bytes ?(collect_stats = false) ~circuit ~maqam ~router
   Buffer.add_char b '\n';
   add_string b router;
   add_string b placement;
+  add_string b objective;
+  add_string b metric;
   add_int b restarts;
   add_int b seed;
   (* instrumentation changes the record's bytes, so it is part of identity *)
   add_int b (if collect_stats then 1 else 0);
   Buffer.contents b
 
-let compute ?collect_stats ~circuit ~maqam ~router ~placement ~restarts ~seed
-    () =
+let compute ?collect_stats ?objective ?metric ~circuit ~maqam ~router
+    ~placement ~restarts ~seed () =
   to_hex
     (fnv1a64
-       (canonical_bytes ?collect_stats ~circuit ~maqam ~router ~placement
-          ~restarts ~seed ()))
+       (canonical_bytes ?collect_stats ?objective ?metric ~circuit ~maqam
+          ~router ~placement ~restarts ~seed ()))

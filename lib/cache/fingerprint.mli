@@ -20,6 +20,8 @@ val to_hex : int64 -> string
 
 val canonical_bytes :
   ?collect_stats:bool ->
+  ?objective:string ->
+  ?metric:string ->
   circuit:Qc.Circuit.t ->
   maqam:Arch.Maqam.t ->
   router:string ->
@@ -28,14 +30,18 @@ val canonical_bytes :
   seed:int ->
   unit ->
   string
-(** The canonical encoding itself (versioned with a ["codar-fp/1"]
-    prefix), exposed so tests can assert injectivity properties on the
-    encoding rather than hoping 64 bits never collide in CI.
+(** The canonical encoding itself (versioned with a ["codar-fp/2"]
+    prefix — v2 added the routing [objective] and portfolio selection
+    [metric], both defaulting to ["makespan"], and cleanly invalidates
+    every v1 key), exposed so tests can assert injectivity properties on
+    the encoding rather than hoping 64 bits never collide in CI.
     [collect_stats] (default [false]) is part of the identity because an
     instrumented record serialises differently. *)
 
 val compute :
   ?collect_stats:bool ->
+  ?objective:string ->
+  ?metric:string ->
   circuit:Qc.Circuit.t ->
   maqam:Arch.Maqam.t ->
   router:string ->

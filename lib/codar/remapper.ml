@@ -3,10 +3,17 @@ type config = {
   max_chain : int;
   use_commutativity : bool;
   use_fine : bool;
+  objective : Objective.t;
 }
 
 let default_config =
-  { window = 200; max_chain = 20; use_commutativity = true; use_fine = true }
+  {
+    window = 200;
+    max_chain = 20;
+    use_commutativity = true;
+    use_fine = true;
+    objective = Objective.makespan;
+  }
 
 exception Stuck of string
 
@@ -152,9 +159,10 @@ let insert_swaps st =
   Swap_scorer.begin_cycle st.scorer ~time:st.time
     ~phys_pairs:(phys_pairs st front);
   let issued_any = ref false in
+  let issue_min = Swap_scorer.issue_min st.scorer in
   let rec loop () =
     match Swap_scorer.best st.scorer with
-    | Some (e, basic) when basic > 0 ->
+    | Some (e, basic) when basic > issue_min ->
       issue_swap st e;
       Swap_scorer.commit st.scorer e;
       issued_any := true;
@@ -214,7 +222,8 @@ let run ?(config = default_config) ?stats ~maqam ~initial circuit =
         Cf_front.create ~window:config.window ~max_chain:config.max_chain
           ~commutes ~gates ~issued ();
       scorer =
-        Swap_scorer.create ~maqam ~stats ~use_fine:config.use_fine ~locks;
+        Swap_scorer.create ~objective:config.objective ~maqam ~stats
+          ~use_fine:config.use_fine ~locks ();
       head = 0;
       remaining = Array.length gates;
       locks;

@@ -25,11 +25,15 @@ type config = {
   use_commutativity : bool;
       (** [false] degrades the CF front to a plain DAG front (ablation) *)
   use_fine : bool;  (** [false] disables the [Hfine] tiebreak (ablation) *)
+  objective : Objective.t;
+      (** routing objective — candidate ordering + issue threshold
+          ({!Objective.makespan} reproduces the paper's Hbasic/Hfine
+          exactly) *)
 }
 
 val default_config : config
 (** [{ window = 200; max_chain = 20; use_commutativity = true;
-      use_fine = true }] *)
+      use_fine = true; objective = Objective.makespan }] *)
 
 exception Stuck of string
 (** Raised when the safety bound on inserted SWAPs is exceeded — indicates

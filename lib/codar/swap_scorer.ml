@@ -27,7 +27,19 @@
 
    All cycle state is epoch-stamped so [begin_cycle] is O(pairs), not
    O(device). Selection replicates the seed router's fold exactly: maximal
-   [Hbasic], then maximal [Hfine], then the smallest [(min,max)] edge. *)
+   [Hbasic], then maximal [Hfine], then the smallest [(min,max)] edge.
+
+   PR 8: the bucket key is no longer raw [Hbasic] but the objective score
+   [scale * Hbasic + bonus] (see {!Objective}). For the makespan objective
+   [scale = 1] and [bonus = 0], so key = Hbasic and every byte of the
+   routed output is unchanged. Other objectives refine the ordering inside
+   an Hbasic class: since [0 <= bonus < scale] the decomposition is unique
+   and all members of one bucket share both Hbasic and bonus, so the
+   repair machinery above carries over verbatim — a bonus change reprices
+   an edge exactly like an Hbasic change. The built-in bonuses read only
+   endpoint incidence and pair distances, both of which the commit repair
+   set already covers; an objective whose bonus reads wider state sets
+   [full_rescore] and every live candidate is repriced after each commit. *)
 
 type t = {
   maqam : Arch.Maqam.t;
@@ -37,6 +49,13 @@ type t = {
   use_fine : bool;
   stats : Stats.t;
   locks : int array;  (* shared with the remapper, read-only here *)
+  (* ---- objective (PR 8), fixed for the scorer's lifetime ---- *)
+  scale : int;
+  bonus_bound : int;
+  obj_bonus : Objective.ctx -> u:int -> v:int -> int;
+  full_rescore : bool;
+  mutable octx : Objective.ctx;  (* closes over [t]; set once in [create] *)
+  mutable issue_min : int;  (* O.issue_min octx, computed once in [create] *)
   (* ---- per-cycle state, all epoch-stamped ---- *)
   mutable epoch : int;
   mutable time : int;
@@ -53,52 +72,92 @@ type t = {
   touch_stamp : int array;
   seen : int array;  (* per phys qubit: token-stamped dedup marker *)
   (* ---- per-edge state (edge id = u*n + v, u < v) ---- *)
-  score : int array;
+  score : int array;  (* objective score: scale * sbasic + bonus *)
+  sbasic : int array;  (* the Hbasic component alone *)
   in_set : bool array;
   edge_stamp : int array;
   visit : int array;  (* token-stamped dedup for extraction/iteration *)
   mutable token : int;
   mutable active : int list;  (* edges activated this cycle (may repeat) *)
-  mutable buckets : int list array;  (* index = basic + m *)
+  mutable buckets : int list array;  (* index = score + scale * m *)
   mutable qmax : int;  (* highest possibly non-empty bucket *)
 }
 
-let create ~maqam ~stats ~use_fine ~locks =
+let dummy_ctx =
+  {
+    Objective.n = 0;
+    dist = [||];
+    incident = (fun _ -> []);
+    pair_fst = (fun _ -> 0);
+    pair_snd = (fun _ -> 0);
+    calibration = None;
+    swap_cycles = 1;
+  }
+
+let create ?(objective = Objective.makespan) ~maqam ~stats ~use_fine ~locks () =
+  let module O = (val objective : Objective.S) in
+  if not (0 <= O.bonus_bound && O.bonus_bound < O.scale) then
+    invalid_arg
+      (Fmt.str "Swap_scorer.create: objective %s violates 0 <= bonus_bound \
+                < scale" O.name);
   let coupling = Arch.Maqam.coupling maqam in
   let n = Arch.Coupling.n_qubits coupling in
-  {
-    maqam;
-    n;
-    dist = Arch.Coupling.distance_table coupling;
-    neighbors =
-      Array.init n (fun p ->
-          Array.of_list (Arch.Coupling.neighbors coupling p));
-    use_fine;
-    stats;
-    locks;
-    epoch = 0;
-    time = 0;
-    m = 0;
-    pa = [||];
-    pb = [||];
-    pnonadj = [||];
-    pair_seen = [||];
-    plist = [];
-    plist_valid = false;
-    inc = Array.make n [];
-    inc_stamp = Array.make n (-1);
-    touch = Array.make n 0;
-    touch_stamp = Array.make n (-1);
-    seen = Array.make n 0;
-    score = Array.make (n * n) 0;
-    in_set = Array.make (n * n) false;
-    edge_stamp = Array.make (n * n) (-1);
-    visit = Array.make (n * n) 0;
-    token = 0;
-    active = [];
-    buckets = [||];
-    qmax = -1;
-  }
+  let t =
+    {
+      maqam;
+      n;
+      dist = Arch.Coupling.distance_table coupling;
+      neighbors =
+        Array.init n (fun p ->
+            Array.of_list (Arch.Coupling.neighbors coupling p));
+      use_fine = use_fine && O.use_fine;
+      stats;
+      locks;
+      scale = O.scale;
+      bonus_bound = O.bonus_bound;
+      obj_bonus = O.bonus;
+      full_rescore = O.full_rescore;
+      octx = dummy_ctx;
+      issue_min = 0;
+      epoch = 0;
+      time = 0;
+      m = 0;
+      pa = [||];
+      pb = [||];
+      pnonadj = [||];
+      pair_seen = [||];
+      plist = [];
+      plist_valid = false;
+      inc = Array.make n [];
+      inc_stamp = Array.make n (-1);
+      touch = Array.make n 0;
+      touch_stamp = Array.make n (-1);
+      seen = Array.make n 0;
+      score = Array.make (n * n) 0;
+      sbasic = Array.make (n * n) 0;
+      in_set = Array.make (n * n) false;
+      edge_stamp = Array.make (n * n) (-1);
+      visit = Array.make (n * n) 0;
+      token = 0;
+      active = [];
+      buckets = [||];
+      qmax = -1;
+    }
+  in
+  t.octx <-
+    {
+      Objective.n;
+      dist = t.dist;
+      incident = (fun p -> if t.inc_stamp.(p) = t.epoch then t.inc.(p) else []);
+      pair_fst = (fun k -> t.pa.(k));
+      pair_snd = (fun k -> t.pb.(k));
+      calibration = Arch.Calibration.for_durations (Arch.Maqam.durations maqam);
+      swap_cycles = Arch.Durations.swap (Arch.Maqam.durations maqam);
+    };
+  t.issue_min <- O.issue_min t.octx;
+  t
+
+let issue_min t = t.issue_min
 
 let eid t u v = if u < v then (u * t.n) + v else (v * t.n) + u
 let edge_of t e = (e / t.n, e mod t.n)
@@ -140,8 +199,18 @@ let compute_basic t u v =
     (inc_get t v);
   !basic
 
-let push t e basic =
-  let idx = basic + t.m in
+(* Objective score of (u,v) given its Hbasic. Bonus-free objectives
+   (makespan, t2) have [bonus_bound = 0] and skip the call entirely, so
+   their hot path is byte-for-byte the PR 6 one. *)
+(* The bonus always sees the canonical (min, max) orientation — activation
+   reaches here as (seed, neighbour) in either order, and an asymmetric
+   objective must score an edge identically on both paths. *)
+let score_of t u v basic =
+  if t.bonus_bound = 0 then basic
+  else (t.scale * basic) + t.obj_bonus t.octx ~u:(min u v) ~v:(max u v)
+
+let push t e score =
+  let idx = score + (t.scale * t.m) in
   t.buckets.(idx) <- e :: t.buckets.(idx);
   if idx > t.qmax then t.qmax <- idx
 
@@ -153,12 +222,14 @@ let try_activate t u v =
     && lock_free t u && lock_free t v
   then begin
     let basic = compute_basic t u v in
-    t.score.(e) <- basic;
+    let score = score_of t u v basic in
+    t.sbasic.(e) <- basic;
+    t.score.(e) <- score;
     t.in_set.(e) <- true;
     t.edge_stamp.(e) <- t.epoch;
     t.active <- e :: t.active;
     t.stats.Stats.swap_candidates <- t.stats.Stats.swap_candidates + 1;
-    push t e basic
+    push t e score
   end
 
 let deactivate t e = if alive t e then t.in_set.(e) <- false
@@ -166,9 +237,11 @@ let deactivate t e = if alive t e then t.in_set.(e) <- false
 let rescore t e =
   let u, v = edge_of t e in
   let basic = compute_basic t u v in
-  if basic <> t.score.(e) then begin
-    t.score.(e) <- basic;
-    push t e basic
+  let score = score_of t u v basic in
+  if score <> t.score.(e) then begin
+    t.sbasic.(e) <- basic;
+    t.score.(e) <- score;
+    push t e score
   end
 
 let ensure_pair_capacity t m =
@@ -190,7 +263,8 @@ let begin_cycle t ~time ~phys_pairs =
   t.m <- m;
   t.plist <- phys_pairs;
   t.plist_valid <- true;
-  t.buckets <- Array.make ((2 * m) + 1) [];
+  (* score range: [-scale*m, scale*m + bonus_bound] *)
+  t.buckets <- Array.make ((2 * t.scale * m) + t.bonus_bound + 1) [];
   (* register pairs; collect the qubits that gained their first incident
      non-adjacent pair — candidate edges sit only around those *)
   let seeds = ref [] in
@@ -271,7 +345,7 @@ let best t =
           List.filter
             (fun e ->
               alive t e
-              && t.score.(e) = idx - t.m
+              && t.score.(e) = idx - (t.scale * t.m)
               && t.visit.(e) <> tok
               && begin
                    t.visit.(e) <- tok;
@@ -282,15 +356,17 @@ let best t =
         t.buckets.(idx) <- members;
         match members with
         | [] -> descend (idx - 1)
-        | es ->
+        | e0 :: _ as es ->
           t.qmax <- idx;
-          let basic = idx - t.m in
-          (* A non-positive best never issues (the CODAR rule), so its
+          (* same score => same Hbasic (unique decomposition) *)
+          let basic = t.sbasic.(e0) in
+          (* A best below the issue threshold never issues (the CODAR
+             rule, generalised to the objective's [issue_min]), so its
              tie-break is observationally irrelevant — skip the fine
              evaluations the reference burned on every cycle's final,
              rejected iteration and return the smallest edge directly. *)
           let e =
-            if basic > 0 then break_ties t es
+            if basic > t.issue_min then break_ties t es
             else
               List.fold_left (fun acc e -> if e < acc then e else acc)
                 max_int es
@@ -298,7 +374,7 @@ let best t =
           Some (edge_of t e, basic)
       end
     in
-    let r = descend (min t.qmax (2 * t.m)) in
+    let r = descend (min t.qmax ((2 * t.scale * t.m) + t.bonus_bound)) in
     if r = None then t.qmax <- -1;
     r
   end
@@ -390,13 +466,27 @@ let commit t (x, y) =
             let e = eid t p nb in
             if alive t e && touch_get t nb = 0 then deactivate t e)
           t.neighbors.(p))
-    !transitions
+    !transitions;
+  (* 5. objectives that opted out of the repair rule: reprice every live
+     candidate (rescore is push-on-change, so unchanged edges cost one
+     recompute and no queue traffic) *)
+  if t.full_rescore then begin
+    t.token <- t.token + 1;
+    let tok = t.token in
+    List.iter
+      (fun e ->
+        if alive t e && t.visit.(e) <> tok then begin
+          t.visit.(e) <- tok;
+          rescore t e
+        end)
+      t.active
+  end
 
 (* Forced-SWAP selection (deadlock escape): maximal distance gain for the
-   oldest pending pair, then the regular (Hbasic, Hfine) priority, then
-   the smallest edge — the seed fold's order. Reuses this cycle's
-   candidate state: force_swap is only reached when nothing was issued or
-   swapped since [begin_cycle]. *)
+   oldest pending pair, then the regular objective-score priority (which
+   is exactly (Hbasic, Hfine) for makespan), then the smallest edge — the
+   seed fold's order. Reuses this cycle's candidate state: force_swap is
+   only reached when nothing was issued or swapped since [begin_cycle]. *)
 let force_best t =
   t.token <- t.token + 1;
   let tok = t.token in
@@ -411,19 +501,19 @@ let force_best t =
         t.dist.((a * n) + b) - t.dist.((mv a * n) + mv b)
     end
   in
-  (* maximal (gain, basic) first; Hfine only among the survivors *)
+  (* maximal (gain, score) first; Hfine only among the survivors *)
   let best = ref None in
   List.iter
     (fun e ->
       if alive t e && t.visit.(e) <> tok then begin
         t.visit.(e) <- tok;
-        let g = gain_of e and basic = t.score.(e) in
+        let g = gain_of e and score = t.score.(e) in
         match !best with
-        | None -> best := Some (g, basic, [ e ])
+        | None -> best := Some (g, score, [ e ])
         | Some (bg, bb, es) ->
-          if g > bg || (g = bg && basic > bb) then
-            best := Some (g, basic, [ e ])
-          else if g = bg && basic = bb then best := Some (bg, bb, e :: es)
+          if g > bg || (g = bg && score > bb) then
+            best := Some (g, score, [ e ])
+          else if g = bg && score = bb then best := Some (bg, bb, e :: es)
       end)
     t.active;
   match !best with

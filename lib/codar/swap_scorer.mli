@@ -23,20 +23,38 @@
 
     Counter contract (see {!Stats}): each incremental (re)scoring bumps
     [swap_rescores]; each candidate activation bumps [swap_candidates];
-    each full [Heuristic.evaluate_phys] bumps [heuristic_evals]. *)
+    each full [Heuristic.evaluate_phys] bumps [heuristic_evals].
+
+    PR 8: candidates are keyed by the routing {!Objective}'s integer score
+    [scale * Hbasic + bonus] instead of raw [Hbasic]; for the default
+    makespan objective the two coincide and routing is byte-identical. *)
 
 type t
 
 val create :
+  ?objective:Objective.t ->
   maqam:Arch.Maqam.t ->
   stats:Stats.t ->
   use_fine:bool ->
   locks:int array ->
+  unit ->
   t
 (** [locks] is the remapper's per-physical-qubit lock array, shared by
     reference and read at candidate-activation time. The scorer holds onto
     the coupling's live distance table; O(n²) arrays are allocated once
-    here and epoch-stamped afterwards. *)
+    here and epoch-stamped afterwards.
+
+    [objective] (default {!Objective.makespan}) fixes the candidate
+    ordering and issue threshold for the scorer's lifetime; its
+    [issue_min] is evaluated once here against the device's calibration
+    (via {!Arch.Calibration.for_durations}). The effective fine tie-break
+    is [use_fine && objective's use_fine]. Raises [Invalid_argument] if
+    the objective violates [0 <= bonus_bound < scale]. *)
+
+val issue_min : t -> int
+(** The objective's issue threshold: the caller issues a SWAP only while
+    {!best} returns an [Hbasic] strictly above this (0 for makespan — the
+    classic CODAR rule). *)
 
 val begin_cycle : t -> time:int -> phys_pairs:(int * int) list -> unit
 (** Start a decision cycle at simulated time [time] with the CF two-qubit
@@ -47,10 +65,11 @@ val begin_cycle : t -> time:int -> phys_pairs:(int * int) list -> unit
     invalidated by epoch, not cleared. *)
 
 val best : t -> ((int * int) * int) option
-(** The highest-priority candidate and its [Hbasic], or [None] when no
-    candidate is active. The caller issues the SWAP only when the returned
-    [Hbasic] is positive (the CODAR rule); either way the candidate stays
-    active until a {!commit} deactivates it. *)
+(** The highest-objective-score candidate and its [Hbasic], or [None] when
+    no candidate is active. The caller issues the SWAP only when the
+    returned [Hbasic] exceeds {!issue_min} (the CODAR rule, generalised);
+    either way the candidate stays active until a {!commit} deactivates
+    it. *)
 
 val commit : t -> int * int -> unit
 (** [commit t (x,y)]: the SWAP [(x,y)] was issued — repair the candidate
@@ -67,6 +86,6 @@ val force_best : t -> (int * int) option
     active. *)
 
 val candidates : t -> ((int * int) * int) list
-(** The active candidate edges with their maintained [Hbasic] scores,
-    sorted by edge — for tests asserting incremental/from-scratch
-    agreement; not on the router hot path. *)
+(** The active candidate edges with their maintained objective scores
+    ([= Hbasic] under makespan), sorted by edge — for tests asserting
+    incremental/from-scratch agreement; not on the router hot path. *)

@@ -8,6 +8,7 @@ type config = {
   shrink_budget : int;
   corpus_dir : string option;
   faults : int option;
+  objectives : bool;
 }
 
 let default_devices =
@@ -28,6 +29,7 @@ let default_config =
     shrink_budget = 300;
     corpus_dir = None;
     faults = None;
+    objectives = false;
   }
 
 type case_failure = {
@@ -151,6 +153,36 @@ let run_case cfg ~durations ~index =
   let gen_cfg = Gen.sample_config rng ~max_qubits:(min cfg.max_qubits width) in
   let circuit = Gen.circuit_rng rng gen_cfg in
   let report = Oracle.check ~sim_max_qubits:cfg.sim_max_qubits ~maqam circuit in
+  (* with --objectives, every case additionally routes under one rotated
+     non-makespan objective and must still clear verify + sim-equiv (the
+     makespan objective is already covered by the Codar router pass) *)
+  let objective_failure, objective_checks =
+    if not cfg.objectives then (None, 0)
+    else begin
+      let rotation = [ Objective.slack; Objective.depth; Objective.t2 ] in
+      let objective = List.nth rotation (index mod List.length rotation) in
+      let failures, checks =
+        Oracle.check_objective ~sim_max_qubits:cfg.sim_max_qubits ~maqam
+          ~objective circuit
+      in
+      match failures with
+      | [] -> (None, checks)
+      | f :: _ ->
+        ( Some
+            (* not shrunk: Oracle.check does not include this property, so
+               Shrink's still-fails predicate cannot drive it *)
+            {
+              index;
+              case_seed;
+              device = device_name;
+              oracles = oracle_names failures;
+              detail = Fmt.str "%a" Oracle.pp_failure f;
+              shrunk = circuit;
+              corpus_path = None;
+            },
+          checks )
+    end
+  in
   let fault_failure =
     match cfg.faults with
     | None -> None
@@ -209,7 +241,12 @@ let run_case cfg ~durations ~index =
         }
     end
   in
-  (report, match failure with Some _ -> failure | None -> fault_failure)
+  ( report,
+    objective_checks,
+    match (failure, objective_failure) with
+    | (Some _ as f), _ -> f
+    | None, (Some _ as f) -> f
+    | None, None -> fault_failure )
 
 let run ?(progress = fun _ -> ()) cfg =
   if cfg.devices = [] then invalid_arg "Fuzz.Harness: empty device list";
@@ -219,8 +256,8 @@ let run ?(progress = fun _ -> ()) cfg =
   let checks = ref 0 in
   let sim_checked = ref 0 in
   for index = 0 to cfg.cases - 1 do
-    let report, failure = run_case cfg ~durations ~index in
-    checks := !checks + report.Oracle.checks;
+    let report, objective_checks, failure = run_case cfg ~durations ~index in
+    checks := !checks + report.Oracle.checks + objective_checks;
     if cfg.faults <> None then incr checks;
     if report.sim_checked then incr sim_checked;
     Option.iter (fun f -> failed := f :: !failed) failure;
@@ -276,6 +313,7 @@ let summary_json (r : result) =
             ("shrink_budget", Int r.config.shrink_budget);
             ( "faults",
               match r.config.faults with Some s -> Int s | None -> Null );
+            ("objectives", Bool r.config.objectives);
           ] );
       ("ran", Int r.ran);
       ("passed", Int (r.ran - List.length r.failed));

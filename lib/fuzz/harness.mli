@@ -25,6 +25,11 @@ type config = {
           from this seed (disk-full and silent-corruption injections); a
           violated persistence invariant fails the case under the oracle
           name ["fault-persistence"] *)
+  objectives : bool;
+      (** when set, every case additionally routes under one rotated
+          non-makespan objective (slack, depth, t2 by case index) via
+          {!Oracle.check_objective} — verify + statevector equivalence
+          must still hold *)
 }
 
 val default_devices : (string * Arch.Coupling.t) list
@@ -34,7 +39,7 @@ val default_devices : (string * Arch.Coupling.t) list
 val default_config : config
 (** 200 cases, seed 7, max 5 qubits, {!default_devices},
     superconducting durations, sim bound 10, shrink budget 300, no
-    corpus directory, no fault injection. *)
+    corpus directory, no fault injection, no objective rotation. *)
 
 type case_failure = {
   index : int;

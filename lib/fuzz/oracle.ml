@@ -62,6 +62,35 @@ let check_routed ?(sim_max_qubits = 10) ~maqam ~original ~router
       fail "sim-equiv" "statevector fidelity below tolerance";
   (List.rev !failures, sim_eligible)
 
+(* One CODAR pass under a non-default routing objective: the routed result
+   must still clear verify + sim-equiv. The codar-vs-reference differential
+   does NOT apply — the reference implementation only speaks makespan — so
+   this is deliberately a separate entry point from [check]. *)
+let check_objective ?(sim_max_qubits = 10) ~maqam ~objective circuit =
+  let n_logical = Qc.Circuit.n_qubits circuit in
+  let n_physical = Arch.Maqam.n_qubits maqam in
+  let initial = Arch.Layout.identity ~n_logical ~n_physical in
+  let oracle = "objective-" ^ Objective.name objective in
+  let routed =
+    try
+      Ok
+        (Codar.Remapper.run
+           ~config:{ Codar.Remapper.default_config with objective }
+           ~maqam ~initial circuit)
+    with
+    | Codar.Remapper.Stuck msg -> Error ("stuck: " ^ msg)
+    | Invalid_argument msg -> Error ("invalid argument: " ^ msg)
+    | Failure msg -> Error ("failure: " ^ msg)
+  in
+  match routed with
+  | Error detail -> ([ { oracle; router = Some Codar; detail } ], 1)
+  | Ok r ->
+    let fs, simmed =
+      check_routed ~sim_max_qubits ~maqam ~original:circuit ~router:Codar r
+    in
+    ( List.map (fun f -> { f with oracle = oracle ^ ":" ^ f.oracle }) fs,
+      1 + if simmed then 2 else 1 )
+
 let check ?(sim_max_qubits = 10) ?(routers = all_routers) ~maqam circuit =
   let n_logical = Qc.Circuit.n_qubits circuit in
   let n_physical = Arch.Maqam.n_qubits maqam in

@@ -60,6 +60,17 @@ val check_routed :
     result; the [bool] reports whether the statevector oracle ran.
     Exposed so tests can prove the oracle rejects tampered schedules. *)
 
+val check_objective :
+  ?sim_max_qubits:int ->
+  maqam:Arch.Maqam.t ->
+  objective:Objective.t ->
+  Qc.Circuit.t ->
+  failure list * int
+(** One CODAR pass under [objective], checked against verify + sim-equiv
+    (the codar-vs-reference differential is makespan-only and does not
+    apply). Failures are named ["objective-<name>"] (routing trouble) or
+    ["objective-<name>:<check>"]; the [int] counts oracle executions. *)
+
 val check :
   ?sim_max_qubits:int ->
   ?routers:router list ->

@@ -1,4 +1,11 @@
-type portfolio = { restarts : int; winner : int; scores : int array }
+type portfolio = {
+  restarts : int;
+  winner : int;
+  scores : int array;
+  metric : string;
+  metric_scores : float array;
+  objectives : string array;
+}
 
 type t = {
   source : string;
@@ -7,6 +14,7 @@ type t = {
   durations : string;
   router : string;
   placement : string;
+  objective : string;
   n_qubits : int;
   gates : int;
   unrouted_weighted_depth : int;
@@ -14,13 +22,14 @@ type t = {
   raw_depth : int;
   events : int;
   swaps : int;
+  esp : float option;
   wall_s : float;
   stats : Codar.Stats.t option;
   portfolio : portfolio option;
 }
 
-let make ~source ~router ~placement ~wall_s ?stats ?portfolio ~maqam ~original
-    (routed : Schedule.Routed.t) =
+let make ~source ~router ~placement ?(objective = "makespan") ~wall_s ?stats
+    ?portfolio ~maqam ~original (routed : Schedule.Routed.t) =
   let coupling = Arch.Maqam.coupling maqam in
   let durations = Arch.Maqam.durations maqam in
   let n_physical = Arch.Coupling.n_qubits coupling in
@@ -31,6 +40,7 @@ let make ~source ~router ~placement ~wall_s ?stats ?portfolio ~maqam ~original
     durations = Arch.Durations.name durations;
     router;
     placement;
+    objective;
     n_qubits = Qc.Circuit.n_qubits original;
     gates = Qc.Circuit.length original;
     unrouted_weighted_depth =
@@ -42,6 +52,13 @@ let make ~source ~router ~placement ~wall_s ?stats ?portfolio ~maqam ~original
       Qc.Metrics.depth (Schedule.Routed.to_physical_circuit ~n_physical routed);
     events = Schedule.Routed.gate_count routed;
     swaps = Schedule.Routed.swap_count routed;
+    esp =
+      (* analytic success estimate, only when the duration profile has
+         calibration data — the cross-objective comparison column *)
+      Option.map
+        (fun calibration ->
+          Sim.Reliability.estimated_success ~calibration ~n_physical routed)
+        (Arch.Calibration.for_durations durations);
     wall_s;
     stats;
     portfolio;
@@ -69,6 +86,14 @@ let portfolio_to_json (p : portfolio) =
       ("restarts", Json.Int p.restarts);
       ("winner", Json.Int p.winner);
       ("scores", Json.List (Array.to_list (Array.map (fun s -> Json.Int s) p.scores)));
+      ("metric", Json.String p.metric);
+      ( "metric_scores",
+        Json.List
+          (Array.to_list (Array.map (fun s -> Json.Float s) p.metric_scores))
+      );
+      ( "objectives",
+        Json.List
+          (Array.to_list (Array.map (fun s -> Json.String s) p.objectives)) );
     ]
 
 (* Decoders are written against the exact shapes the emitters above produce;
@@ -120,6 +145,16 @@ let stats_of_json j =
       cycles;
     }
 
+(* Absent means "written before the field existed" (pre-PR 8 snapshots):
+   decode with the makespan-era defaults so old persistence files load. *)
+let optional_string_field j name ~default =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_string_opt v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
 let portfolio_of_json j =
   let* restarts = field j "restarts" Json.to_int_opt in
   let* winner = field j "winner" Json.to_int_opt in
@@ -133,7 +168,45 @@ let portfolio_of_json j =
         | None -> Error "portfolio score is not an integer")
       (Ok []) scores
   in
-  Ok { restarts; winner; scores = Array.of_list (List.rev scores) }
+  let scores = Array.of_list (List.rev scores) in
+  let* metric = optional_string_field j "metric" ~default:"makespan" in
+  let* metric_scores =
+    match Json.member "metric_scores" j with
+    | None -> Ok (Array.map float_of_int scores)
+    | Some v -> (
+      match Json.to_list_opt v with
+      | None -> Error "field \"metric_scores\" has the wrong type"
+      | Some l ->
+        let* l =
+          List.fold_left
+            (fun acc s ->
+              let* acc = acc in
+              match Json.to_float_opt s with
+              | Some f -> Ok (f :: acc)
+              | None -> Error "portfolio metric score is not a number")
+            (Ok []) l
+        in
+        Ok (Array.of_list (List.rev l)))
+  in
+  let* objectives =
+    match Json.member "objectives" j with
+    | None -> Ok [||]
+    | Some v -> (
+      match Json.to_list_opt v with
+      | None -> Error "field \"objectives\" has the wrong type"
+      | Some l ->
+        let* l =
+          List.fold_left
+            (fun acc s ->
+              let* acc = acc in
+              match Json.to_string_opt s with
+              | Some x -> Ok (x :: acc)
+              | None -> Error "portfolio objective is not a string")
+            (Ok []) l
+        in
+        Ok (Array.of_list (List.rev l)))
+  in
+  Ok { restarts; winner; scores; metric; metric_scores; objectives }
 
 let of_json j =
   let* source = field j "source" Json.to_string_opt in
@@ -142,6 +215,7 @@ let of_json j =
   let* durations = field j "durations" Json.to_string_opt in
   let* router = field j "router" Json.to_string_opt in
   let* placement = field j "placement" Json.to_string_opt in
+  let* objective = optional_string_field j "objective" ~default:"makespan" in
   let* n_qubits = field j "n_qubits" Json.to_int_opt in
   let* gates = field j "gates" Json.to_int_opt in
   let* unrouted_weighted_depth =
@@ -151,6 +225,14 @@ let of_json j =
   let* raw_depth = field j "raw_depth" Json.to_int_opt in
   let* events = field j "events" Json.to_int_opt in
   let* swaps = field j "swaps" Json.to_int_opt in
+  let* esp =
+    match Json.member "esp" j with
+    | None -> Ok None
+    | Some v -> (
+      match Json.to_float_opt v with
+      | Some f -> Ok (Some f)
+      | None -> Error "field \"esp\" has the wrong type")
+  in
   let* wall_s = field j "wall_s" Json.to_float_opt in
   let* stats =
     match Json.member "router_stats" j with
@@ -174,6 +256,7 @@ let of_json j =
       durations;
       router;
       placement;
+      objective;
       n_qubits;
       gates;
       unrouted_weighted_depth;
@@ -181,6 +264,7 @@ let of_json j =
       raw_depth;
       events;
       swaps;
+      esp;
       wall_s;
       stats;
       portfolio;
@@ -195,6 +279,7 @@ let to_json t =
        ("durations", Json.String t.durations);
        ("router", Json.String t.router);
        ("placement", Json.String t.placement);
+       ("objective", Json.String t.objective);
        ("n_qubits", Json.Int t.n_qubits);
        ("gates", Json.Int t.gates);
        ("unrouted_weighted_depth", Json.Int t.unrouted_weighted_depth);
@@ -202,8 +287,11 @@ let to_json t =
        ("raw_depth", Json.Int t.raw_depth);
        ("events", Json.Int t.events);
        ("swaps", Json.Int t.swaps);
-       ("wall_s", Json.Float t.wall_s);
      ]
+    @ (match t.esp with
+      | Some e -> [ ("esp", Json.Float e) ]
+      | None -> [])
+    @ [ ("wall_s", Json.Float t.wall_s) ]
     @ (match t.stats with
       | Some s -> [ ("router_stats", stats_to_json s) ]
       | None -> [])

@@ -10,6 +10,9 @@ type portfolio = {
   restarts : int;
   winner : int;  (** restart index whose route was kept *)
   scores : int array;  (** weighted depth per restart, by restart index *)
+  metric : string;  (** selection metric that picked the winner *)
+  metric_scores : float array;  (** metric value per restart *)
+  objectives : string array;  (** objective per restart (mixed membership) *)
 }
 
 type t = {
@@ -19,6 +22,7 @@ type t = {
   durations : string;
   router : string;
   placement : string;
+  objective : string;  (** routing objective ("makespan" for non-CODAR) *)
   n_qubits : int;
   gates : int;  (** original gate count *)
   unrouted_weighted_depth : int;  (** lower bound for any routing *)
@@ -26,6 +30,9 @@ type t = {
   raw_depth : int;  (** unit-duration depth of the routed circuit *)
   events : int;
   swaps : int;  (** router-inserted SWAPs *)
+  esp : float option;
+      (** {!Sim.Reliability.estimated_success}, when the duration profile
+          has calibration data — the cross-objective comparison column *)
   wall_s : float;  (** routing wall-clock time, seconds *)
   stats : Codar.Stats.t option;  (** CODAR instrumentation, when collected *)
   portfolio : portfolio option;
@@ -35,6 +42,7 @@ val make :
   source:string ->
   router:string ->
   placement:string ->
+  ?objective:string ->
   wall_s:float ->
   ?stats:Codar.Stats.t ->
   ?portfolio:portfolio ->
@@ -43,7 +51,8 @@ val make :
   Schedule.Routed.t ->
   t
 (** Derives every circuit/schedule field from [original] and the routed
-    result. *)
+    result. [objective] defaults to ["makespan"]; [esp] is derived from
+    the maqam's calibration preset when one exists. *)
 
 val to_json : t -> Json.t
 

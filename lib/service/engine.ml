@@ -10,6 +10,10 @@ type spec = {
   maqam : Arch.Maqam.t;
   router : [ `Codar | `Sabre | `Astar | `Portfolio ];
   placement : Placement.strategy;
+  objectives : Objective.t list;
+      (* non-empty; head drives `Codar, the whole list cycles over
+         portfolio restarts *)
+  metric : Codar.Portfolio.metric;
   restarts : int;
   seed : int;
   collect_stats : bool;
@@ -34,6 +38,91 @@ let router_name = function
   | `Sabre -> "sabre"
   | `Astar -> "astar"
   | `Portfolio -> "portfolio"
+
+(* "codar:slack" sugar: split a router name into the base name and an
+   inline objective suffix. *)
+let split_router s =
+  match String.index_opt s ':' with
+  | None -> (s, None)
+  | Some i ->
+    ( String.sub s 0 i,
+      Some (String.sub s (i + 1) (String.length s - i - 1)) )
+
+(* Resolve the router string plus optional objective/metric fields into the
+   typed triple. The rules:
+   - the inline suffix and an explicit objective field must not conflict;
+   - codar takes exactly one objective name, the portfolio a comma list;
+   - sabre/astar accept no objective (they have no SWAP scorer to steer);
+   - the metric belongs to the portfolio alone, and esp needs a calibrated
+     duration profile (checked here so the daemon replies bad_request, not
+     route_failed). *)
+let resolve_router ~router ~objective ~metric ~durations =
+  let ( let* ) = Result.bind in
+  let base, inline = split_router router in
+  let* router =
+    match router_of_name base with
+    | Some r -> Ok r
+    | None -> Error (Printf.sprintf "unknown router %S" base)
+  in
+  let* obj_text =
+    match (inline, objective) with
+    | Some a, Some b when a <> b ->
+      Error
+        (Printf.sprintf
+           "router %S and objective %S conflict — give the objective once"
+           (base ^ ":" ^ a) b)
+    | Some a, _ -> Ok (Some a)
+    | None, o -> Ok o
+  in
+  let* objectives =
+    match (router, obj_text) with
+    | _, None -> Ok [ Objective.makespan ]
+    | (`Sabre | `Astar), Some o ->
+      Error
+        (Printf.sprintf "router %S does not take an objective (got %S)"
+           (router_name router) o)
+    | `Codar, Some o -> (
+      match Objective.of_name o with
+      | Some obj -> Ok [ obj ]
+      | None ->
+        Error
+          (Printf.sprintf "unknown objective %S (expected one of %s)" o
+             (String.concat ", " Objective.names)))
+    | `Portfolio, Some o -> Objective.list_of_string o
+  in
+  let* metric =
+    match (router, metric) with
+    | _, None -> Ok Codar.Portfolio.Makespan
+    | (`Codar | `Sabre | `Astar), Some m ->
+      Error
+        (Printf.sprintf
+           "metric %S is only valid for the portfolio router (got router %S)"
+           m (router_name router))
+    | `Portfolio, Some m -> (
+      match Codar.Portfolio.metric_of_name m with
+      | Some metric -> Ok metric
+      | None ->
+        Error
+          (Printf.sprintf "unknown metric %S (expected one of %s)" m
+             (String.concat ", " Codar.Portfolio.metric_names)))
+  in
+  let* () =
+    if
+      metric = Codar.Portfolio.Esp
+      && Arch.Calibration.for_durations durations = None
+    then
+      Error
+        (Printf.sprintf
+           "metric \"esp\" needs a calibrated duration profile, but %S has \
+            no calibration data"
+           (Arch.Durations.name durations))
+    else Ok ()
+  in
+  Ok (router, objectives, metric)
+
+(* The canonical-encoding image of the objective selection: the comma list
+   for fingerprints and the head name for single-route records. *)
+let objectives_string objs = Objective.string_of_list objs
 
 (* Suite circuits are lazy; forcing is not safe under concurrent forcing
    from several connection threads, so serialise it. *)
@@ -76,10 +165,9 @@ let spec_of_route_req (r : Protocol.route_req) =
     | None ->
       Error (Printf.sprintf "unknown duration profile %S" r.Protocol.durations)
   in
-  let* router =
-    match router_of_name r.Protocol.router with
-    | Some r -> Ok r
-    | None -> Error (Printf.sprintf "unknown router %S" r.Protocol.router)
+  let* router, objectives, metric =
+    resolve_router ~router:r.Protocol.router ~objective:r.Protocol.objective
+      ~metric:r.Protocol.metric ~durations
   in
   let* placement =
     match Placement.of_name r.Protocol.placement with
@@ -111,6 +199,8 @@ let spec_of_route_req (r : Protocol.route_req) =
       maqam = Arch.Maqam.make ~coupling ~durations;
       router;
       placement;
+      objectives;
+      metric;
       restarts = r.Protocol.restarts;
       seed = r.Protocol.seed;
       collect_stats = r.Protocol.collect_stats;
@@ -118,20 +208,36 @@ let spec_of_route_req (r : Protocol.route_req) =
 
 let fingerprint spec =
   Cache.Fingerprint.compute ~collect_stats:spec.collect_stats
+    ~objective:(objectives_string spec.objectives)
+    ~metric:(Codar.Portfolio.metric_name spec.metric)
     ~circuit:spec.circuit ~maqam:spec.maqam
     ~router:(router_name spec.router)
     ~placement:(Placement.name spec.placement)
     ~restarts:spec.restarts ~seed:spec.seed ()
 
-let route_plain ?stats router maqam initial circuit =
+let route_plain ?stats ?(objective = Objective.makespan) router maqam initial
+    circuit =
   match router with
-  | `Codar -> Codar.Remapper.run ?stats ~maqam ~initial circuit
+  | `Codar ->
+    Codar.Remapper.run
+      ~config:{ Codar.Remapper.default_config with objective }
+      ?stats ~maqam ~initial circuit
   | `Sabre -> Sabre.Router.run ~maqam ~initial circuit
   | `Astar -> Astar.Router.run ~maqam ~initial circuit
 
 let route spec =
-  let { circuit; maqam; router; placement; restarts; seed; collect_stats; _ }
-      =
+  let {
+    circuit;
+    maqam;
+    router;
+    placement;
+    objectives;
+    metric;
+    restarts;
+    seed;
+    collect_stats;
+    _;
+  } =
     spec
   in
   let initial = Placement.compute placement ~maqam circuit in
@@ -140,37 +246,57 @@ let route spec =
     | true, (`Codar | `Portfolio) -> Some (Codar.Stats.create ())
     | _ -> None
   in
+  let objective =
+    match objectives with o :: _ -> o | [] -> Objective.makespan
+  in
   let t0 = Unix.gettimeofday () in
-  let routed, portfolio =
+  let routed, record_objective, portfolio =
     match router with
     | (`Codar | `Sabre | `Astar) as r ->
-      (route_plain ?stats r maqam initial circuit, None)
+      ( route_plain ?stats ~objective r maqam initial circuit,
+        (match r with `Codar -> Objective.name objective | _ -> "makespan"),
+        None )
     | `Portfolio ->
       let refine layout =
         Sabre.Initial_mapping.reverse_traversal ~initial:layout ~maqam circuit
       in
       let o =
-        Codar.Portfolio.run ~restarts ~seed ~refine ~maqam ~initial circuit
+        Codar.Portfolio.run ~restarts ~seed ~refine ~objectives ~metric ~maqam
+          ~initial circuit
       in
+      let winner_objective = o.Codar.Portfolio.objectives.(o.Codar.Portfolio.winner) in
       (* portfolio restarts are uninstrumented (shared counters are not
-         domain-safe); re-route the winner alone to report its stats *)
+         domain-safe); re-route the winner alone — under the winner's own
+         objective — to report its stats *)
       (match stats with
       | Some s ->
         ignore
-          (Codar.Remapper.run ~stats:s ~maqam
+          (Codar.Remapper.run
+             ~config:
+               {
+                 Codar.Remapper.default_config with
+                 objective = winner_objective;
+               }
+             ~stats:s ~maqam
              ~initial:o.Codar.Portfolio.routed.Schedule.Routed.initial circuit)
       | None -> ());
       ( o.Codar.Portfolio.routed,
+        Objective.name winner_objective,
         Some
           {
             Report.Record.restarts = Array.length o.Codar.Portfolio.scores;
             winner = o.Codar.Portfolio.winner;
             scores = o.Codar.Portfolio.scores;
+            metric = Codar.Portfolio.metric_name o.Codar.Portfolio.metric;
+            metric_scores = o.Codar.Portfolio.metric_scores;
+            objectives =
+              Array.map Objective.name o.Codar.Portfolio.objectives;
           } )
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   ( Report.Record.make ~source:spec.source_name
       ~router:(router_name router)
       ~placement:(Placement.name placement)
-      ~wall_s ?stats ?portfolio ~maqam ~original:circuit routed,
+      ~objective:record_objective ~wall_s ?stats ?portfolio ~maqam
+      ~original:circuit routed,
     routed )

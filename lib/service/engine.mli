@@ -13,6 +13,10 @@ type spec = {
   maqam : Arch.Maqam.t;
   router : [ `Codar | `Sabre | `Astar | `Portfolio ];
   placement : Placement.strategy;
+  objectives : Objective.t list;
+      (** non-empty; the head drives [`Codar], the whole list cycles over
+          portfolio restarts *)
+  metric : Codar.Portfolio.metric;  (** portfolio selection metric *)
   restarts : int;
   seed : int;
   collect_stats : bool;
@@ -26,6 +30,23 @@ val router_of_name :
   string -> [ `Codar | `Sabre | `Astar | `Portfolio ] option
 
 val router_name : [ `Codar | `Sabre | `Astar | `Portfolio ] -> string
+
+val resolve_router :
+  router:string ->
+  objective:string option ->
+  metric:string option ->
+  durations:Arch.Durations.t ->
+  ( [ `Codar | `Sabre | `Astar | `Portfolio ]
+    * Objective.t list
+    * Codar.Portfolio.metric,
+    string )
+  result
+(** Resolve a router string (accepting ["codar:slack"]-style inline
+    objective sugar) together with the optional [objective]/[metric]
+    request fields. Rejects conflicting inline + explicit objectives,
+    objectives on sabre/astar, comma lists outside the portfolio, metrics
+    outside the portfolio, and the esp metric on uncalibrated duration
+    profiles — all as [Error] (the daemon's [bad_request]). *)
 
 val spec_of_route_req : Protocol.route_req -> (spec, string) result
 (** Resolve names to live structures, parse inline QASM (errors become
@@ -43,10 +64,12 @@ val route : spec -> Report.Record.t * Schedule.Routed.t
 
 val route_plain :
   ?stats:Codar.Stats.t ->
+  ?objective:Objective.t ->
   [ `Codar | `Sabre | `Astar ] ->
   Arch.Maqam.t ->
   Arch.Layout.t ->
   Qc.Circuit.t ->
   Schedule.Routed.t
 (** One bare routing pass with a fixed initial layout (used by
-    [codar_cli map --compare]). *)
+    [codar_cli map --compare]). [objective] (default makespan) applies to
+    [`Codar] only. *)

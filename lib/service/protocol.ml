@@ -17,6 +17,11 @@ type route_req = {
   durations : string;
   router : string;
   placement : string;
+  objective : string option;
+      (* routing objective(s): a name for codar, a comma list for the
+         portfolio; [None] means the router's default (makespan) *)
+  metric : string option;
+      (* portfolio selection metric; [None] means makespan *)
   restarts : int;
   seed : int;
   collect_stats : bool;
@@ -79,7 +84,7 @@ let default_seed = 0
 let route_keys =
   [
     "op"; "id"; "bench"; "qasm"; "arch"; "durations"; "router"; "placement";
-    "restarts"; "seed"; "stats";
+    "objective"; "metric"; "restarts"; "seed"; "stats";
   ]
 
 let ( let* ) = Result.bind
@@ -125,6 +130,16 @@ let route_req_of_fields fields =
   let* placement =
     opt_field fields "placement" Json.to_string_opt ~default:default_placement
   in
+  let* objective =
+    opt_field fields "objective"
+      (fun v -> Option.map Option.some (Json.to_string_opt v))
+      ~default:None
+  in
+  let* metric =
+    opt_field fields "metric"
+      (fun v -> Option.map Option.some (Json.to_string_opt v))
+      ~default:None
+  in
   let* restarts =
     opt_field fields "restarts" Json.to_int_opt ~default:default_restarts
   in
@@ -139,6 +154,8 @@ let route_req_of_fields fields =
       durations;
       router;
       placement;
+      objective;
+      metric;
       restarts;
       seed;
       collect_stats;

@@ -15,6 +15,14 @@ type route_req = {
   durations : string;  (** profile name: sc, ion, atom, uniform *)
   router : string;  (** codar, sabre, astar, portfolio *)
   placement : string;  (** {!Placement.of_name} *)
+  objective : string option;
+      (** routing objective ({!Objective.of_name}): one name for codar,
+          optionally a comma list for the portfolio; [None] = the
+          router's default (makespan). [router = "codar:slack"] sugar is
+          also accepted and resolved by {!Engine.spec_of_route_req}. *)
+  metric : string option;
+      (** portfolio selection metric: makespan, esp or depth;
+          [None] = makespan *)
   restarts : int;  (** portfolio restarts *)
   seed : int;  (** portfolio RNG seed *)
   collect_stats : bool;  (** embed router instrumentation in the record *)

@@ -42,8 +42,8 @@ let test_versioned_prefix () =
       ~router:"codar" ~placement:"sabre" ~restarts:8 ~seed:0 ()
   in
   Alcotest.(check bool)
-    "canonical bytes carry the codar-fp/1 version tag" true
-    (String.length b >= 10 && String.sub b 0 10 = "codar-fp/1")
+    "canonical bytes carry the codar-fp/2 version tag" true
+    (String.length b >= 10 && String.sub b 0 10 = "codar-fp/2")
 
 (* ------------------------------------------------------------ sensitivity *)
 
@@ -143,6 +143,8 @@ let record bench =
       durations = "sc";
       router = "codar";
       placement = "sabre";
+      objective = None;
+      metric = None;
       restarts = 2;
       seed = 0;
       collect_stats = false;
@@ -361,6 +363,48 @@ let test_load_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing file must not load"
 
+(* ------------------------------------------- fingerprint version bump *)
+
+let test_prebump_snapshot_loads_cold () =
+  (* a genuine pre-PR8 (codar-fp/1) cache snapshot: it must load as a
+     typed success — old persistence files never crash a daemon — but its
+     v1 fingerprint keys must never satisfy a v2 lookup, so the bump
+     invalidates cleanly (a recompute, not a stale hit) *)
+  let fixture =
+    (* runtest executes in the test dir; `dune exec` from the root *)
+    List.find_opt Sys.file_exists
+      [ "prebump_cache_v1.json"; "test/prebump_cache_v1.json" ]
+    |> Option.value ~default:"prebump_cache_v1.json"
+  in
+  match Cache.load ~max_entries:4 fixture with
+  | Error e ->
+    Alcotest.failf "pre-bump snapshot must load: %s"
+      (Cache.load_error_to_string e)
+  | Ok t ->
+    Alcotest.(check int) "pre-bump entry survives the load" 1 (Cache.length t);
+    (* the snapshot's key is the v1 fingerprint of exactly this request *)
+    let v1_key = "09ee161db5252103" in
+    (match Cache.find t v1_key with
+    | Some r ->
+      Alcotest.(check string) "stored record parses typed" "qft_4"
+        r.Report.Record.source;
+      Alcotest.(check string) "pre-PR8 objective defaults to makespan"
+        "makespan" r.Report.Record.objective
+    | None -> Alcotest.fail "v1 key lost by the loader");
+    let circuit =
+      match Workloads.Suite.find "qft_4" with
+      | Some e -> Lazy.force e.Workloads.Suite.circuit
+      | None -> Alcotest.fail "qft_4 missing from the suite"
+    in
+    let v2_key =
+      Fp.compute ~circuit ~maqam:tokyo ~router:"codar" ~placement:"sabre-1"
+        ~restarts:8 ~seed:0 ()
+    in
+    Alcotest.(check bool) "v2 fingerprint differs from the v1 key" true
+      (not (String.equal v1_key v2_key));
+    Alcotest.(check bool) "same request misses after the bump" true
+      (Cache.find t v2_key = None)
+
 let () =
   Alcotest.run "cache"
     [
@@ -395,5 +439,7 @@ let () =
             test_load_accepts_legacy_plain_json;
           Alcotest.test_case "rejects empty file" `Quick
             test_load_rejects_empty_file;
+          Alcotest.test_case "pre-bump snapshot loads cold" `Quick
+            test_prebump_snapshot_loads_cold;
         ] );
     ]

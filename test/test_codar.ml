@@ -567,7 +567,7 @@ let prop_scorer_matches_scratch =
       let stats = Codar.Stats.create () in
       let locks = Array.make n 0 in
       let scorer =
-        Codar.Swap_scorer.create ~maqam ~stats ~use_fine:true ~locks
+        Codar.Swap_scorer.create ~maqam ~stats ~use_fine:true ~locks ()
       in
       let time = ref 0 in
       let pairs = ref [] in
@@ -641,6 +641,310 @@ let prop_scorer_matches_scratch =
         done
       done;
       true)
+
+(* ------------------------------------------------------------- objectives *)
+
+(* From-scratch image of the ctx the scorer hands its objective, built
+   directly from the pair list — for checking maintained objective scores
+   against a fresh [scale * Hbasic + bonus]. *)
+let scratch_octx ~maqam ~pairs =
+  let coupling = Arch.Maqam.coupling maqam in
+  let n = Arch.Coupling.n_qubits coupling in
+  let arr = Array.of_list pairs in
+  let incident p =
+    let out = ref [] in
+    Array.iteri (fun k (a, b) -> if a = p || b = p then out := k :: !out) arr;
+    !out
+  in
+  {
+    Objective.n;
+    dist = Arch.Coupling.distance_table coupling;
+    incident;
+    pair_fst = (fun k -> fst arr.(k));
+    pair_snd = (fun k -> snd arr.(k));
+    calibration = Arch.Calibration.for_durations (Arch.Maqam.durations maqam);
+    swap_cycles = Arch.Durations.swap (Arch.Maqam.durations maqam);
+  }
+
+(* A deliberately repair-rule-hostile objective: its bonus counts incident
+   pairs on both endpoints, so it opts into [full_rescore] and exercises
+   the engine's re-score-everything path. *)
+module Crowding : Objective.S = struct
+  let name = "crowding"
+  let scale = 8
+  let bonus_bound = 7
+
+  let bonus ctx ~u ~v =
+    min bonus_bound
+      ((2 * List.length (ctx.Objective.incident u))
+      + List.length (ctx.Objective.incident v))
+
+  let issue_min _ = 0
+  let use_fine = false
+  let full_rescore = true
+end
+
+let crowding : Objective.t = (module Crowding)
+
+let prop_scorer_objective_scores =
+  QCheck.Test.make ~count:150
+    ~name:"objective scores = scale*Hbasic + bonus, incrementally maintained"
+    QCheck.(
+      triple (int_bound 1_000_000) (int_range 0 3) (int_range 0 3))
+    (fun (seed, dev, obj_ix) ->
+      let objective =
+        List.nth
+          [ Objective.slack; Objective.depth; Objective.t2; crowding ]
+          obj_ix
+      in
+      let module O = (val objective) in
+      let rng = Random.State.make [| 0x0b1ec7; seed; dev |] in
+      let coupling =
+        match dev with
+        | 0 -> Arch.Devices.ibm_q20_tokyo
+        | 1 -> Arch.Devices.sycamore_54
+        | 2 -> Arch.Devices.fully_connected 8
+        | _ -> random_device rng ~n:(6 + Random.State.int rng 10)
+      in
+      let maqam = Arch.Maqam.make ~coupling ~durations:sc in
+      let n = Arch.Coupling.n_qubits coupling in
+      let stats = Codar.Stats.create () in
+      let locks = Array.make n 0 in
+      let scorer =
+        Codar.Swap_scorer.create ~objective ~maqam ~stats ~use_fine:true
+          ~locks ()
+      in
+      let issue_min = Codar.Swap_scorer.issue_min scorer in
+      let time = ref 0 in
+      let pairs = ref [] in
+      let check what =
+        let octx = scratch_octx ~maqam ~pairs:!pairs in
+        let expected =
+          List.map
+            (fun (e, basic) ->
+              let score =
+                if O.bonus_bound = 0 then basic
+                else
+                  (O.scale * basic)
+                  + O.bonus octx ~u:(fst e) ~v:(snd e)
+              in
+              (e, basic, score))
+            (scratch_candidates ~maqam ~locks ~time:!time !pairs)
+        in
+        let got = Codar.Swap_scorer.candidates scorer in
+        let expected_scored = List.map (fun (e, _, s) -> (e, s)) expected in
+        if got <> expected_scored then
+          QCheck.Test.fail_reportf
+            "%s[%s]: scorer has %d candidates, scratch says %d (n=%d)" what
+            O.name (List.length got)
+            (List.length expected_scored)
+            n;
+        (* best = lexicographic argmax of the objective score; residual
+           ties fall to Hfine only for use_fine objectives above the issue
+           threshold, and to the smallest edge otherwise *)
+        match expected with
+        | [] -> ()
+        | _ ->
+          let max_score =
+            List.fold_left (fun m (_, _, s) -> max m s) min_int expected
+          in
+          let tied =
+            List.filter (fun (_, _, s) -> s = max_score) expected
+          in
+          let _, tied_basic, _ = List.hd tied in
+          let reference =
+            if O.use_fine && tied_basic > issue_min then
+              (* break_ties' fold: max Hfine, then smallest edge (tied is
+                 edge-sorted, so first-strict-max wins ties) *)
+              List.fold_left
+                (fun acc (e, _, _) ->
+                  let p =
+                    Codar.Heuristic.evaluate_phys ~maqam ~phys_pairs:!pairs
+                      ~swap:e
+                  in
+                  match acc with
+                  | Some (_, bp)
+                    when Codar.Heuristic.compare_priority p bp <= 0 ->
+                    acc
+                  | Some _ | None -> Some (e, p))
+                None tied
+              |> Option.get |> fst
+            else
+              let e, _, _ = List.hd tied in
+              e
+          in
+          (match Codar.Swap_scorer.best scorer with
+          | Some (e', b') ->
+            if e' <> reference || b' <> tied_basic then
+              QCheck.Test.fail_reportf
+                "%s[%s]: best picked (%d,%d) basic %d, reference says \
+                 (%d,%d) basic %d"
+                what O.name (fst e') (snd e') b' (fst reference)
+                (snd reference) tied_basic
+          | None ->
+            QCheck.Test.fail_reportf "%s[%s]: best = None with candidates"
+              what O.name)
+      in
+      for _cycle = 1 to 3 do
+        time := !time + 1 + Random.State.int rng 5;
+        pairs := random_pairs rng ~n;
+        Array.iteri
+          (fun i l ->
+            locks.(i) <-
+              (if Random.State.int rng 5 = 0 then
+                 !time + 1 + Random.State.int rng 3
+               else min l !time))
+          locks;
+        Codar.Swap_scorer.begin_cycle scorer ~time:!time ~phys_pairs:!pairs;
+        check "after begin_cycle";
+        for _step = 1 to Random.State.int rng 4 do
+          match Codar.Swap_scorer.candidates scorer with
+          | [] -> ()
+          | cs ->
+            let (x, y), _ =
+              List.nth cs (Random.State.int rng (List.length cs))
+            in
+            let d = Arch.Durations.swap (Arch.Maqam.durations maqam) in
+            locks.(x) <- !time + d;
+            locks.(y) <- !time + d;
+            let mv p = if p = x then y else if p = y then x else p in
+            pairs := List.map (fun (a, b) -> (mv a, mv b)) !pairs;
+            Codar.Swap_scorer.commit scorer (x, y);
+            check "after commit"
+        done
+      done;
+      true)
+
+let test_t2_issue_policy () =
+  (* the t2 threshold formula must separate the shipped profiles:
+     superconducting (short T2, cheap SWAPs) stays aggressive; ion-trap
+     and neutral-atom (long coherence, costly SWAPs) turn frugal; uniform
+     has no calibration and degrades to the makespan rule *)
+  List.iter
+    (fun (durations, expected) ->
+      let maqam =
+        Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo ~durations
+      in
+      let scorer =
+        Codar.Swap_scorer.create ~objective:Objective.t2 ~maqam
+          ~stats:(Codar.Stats.create ()) ~use_fine:true
+          ~locks:(Array.make 20 0) ()
+      in
+      Alcotest.(check int)
+        (Fmt.str "t2 issue_min on %s" (Arch.Durations.name durations))
+        expected
+        (Codar.Swap_scorer.issue_min scorer))
+    [
+      (Arch.Durations.superconducting, 0);
+      (Arch.Durations.ion_trap, 1);
+      (Arch.Durations.neutral_atom, 1);
+      (Arch.Durations.uniform, 0);
+    ]
+
+let test_t2_uniform_is_makespan () =
+  (* with no calibration the t2 objective must be makespan exactly —
+     byte-identical event streams, Hfine tie-breaks included *)
+  let maqam =
+    Arch.Maqam.make
+      ~coupling:(Arch.Devices.grid ~rows:3 ~cols:3)
+      ~durations:Arch.Durations.uniform
+  in
+  let circuit = Workloads.Builders.qft 6 in
+  let initial = Arch.Layout.identity ~n_logical:6 ~n_physical:9 in
+  let route objective =
+    Codar.Remapper.run
+      ~config:{ Codar.Remapper.default_config with objective }
+      ~maqam ~initial circuit
+  in
+  let a = route Objective.makespan and b = route Objective.t2 in
+  Alcotest.(check int) "same makespan" a.Schedule.Routed.makespan
+    b.Schedule.Routed.makespan;
+  Alcotest.(check bool) "identical event streams" true
+    (List.length a.Schedule.Routed.events
+     = List.length b.Schedule.Routed.events
+    && List.for_all2
+         (fun (x : Schedule.Routed.event) (y : Schedule.Routed.event) ->
+           Qc.Gate.equal x.gate y.gate
+           && x.start = y.start && x.duration = y.duration
+           && x.inserted = y.inserted)
+         a.Schedule.Routed.events b.Schedule.Routed.events)
+
+let test_objective_validation () =
+  (* the engine rejects objectives that break the lexicographic law *)
+  let module Bad : Objective.S = struct
+    let name = "bad"
+    let scale = 2
+    let bonus_bound = 2 (* >= scale: bonus could outrank Hbasic *)
+    let bonus _ ~u:_ ~v:_ = 0
+    let issue_min _ = 0
+    let use_fine = false
+    let full_rescore = false
+  end in
+  let maqam = maqam_grid33 in
+  match
+    Codar.Swap_scorer.create ~objective:(module Bad) ~maqam
+      ~stats:(Codar.Stats.create ()) ~use_fine:true ~locks:(Array.make 9 0)
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bonus_bound >= scale must be rejected"
+
+(* -------------------------------------------------------------- portfolio *)
+
+let test_portfolio_restart0_baseline () =
+  (* restart 0 must be the caller's layout routed under the first
+     objective — the portfolio can never lose to the single-shot baseline
+     under its own selection metric *)
+  let maqam =
+    Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo ~durations:sc
+  in
+  let circuit = Workloads.Builders.qft 8 in
+  let initial = Arch.Layout.identity ~n_logical:8 ~n_physical:20 in
+  let baseline = Codar.Remapper.run ~maqam ~initial circuit in
+  let o = Codar.Portfolio.run ~restarts:4 ~seed:3 ~maqam ~initial circuit in
+  Alcotest.(check int) "restart 0 is the baseline route"
+    baseline.Schedule.Routed.makespan
+    o.Codar.Portfolio.scores.(0);
+  Alcotest.(check bool) "winner never worse than restart 0" true
+    (o.Codar.Portfolio.routed.Schedule.Routed.makespan
+    <= o.Codar.Portfolio.scores.(0))
+
+let test_portfolio_mixed_membership () =
+  let maqam =
+    Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo ~durations:sc
+  in
+  let circuit = Workloads.Builders.qft 6 in
+  let initial = Arch.Layout.identity ~n_logical:6 ~n_physical:20 in
+  let o =
+    Codar.Portfolio.run ~restarts:5 ~seed:1
+      ~objectives:[ Objective.makespan; Objective.slack ]
+      ~metric:Codar.Portfolio.Depth ~maqam ~initial circuit
+  in
+  Alcotest.(check (list string)) "objectives cycle over restarts"
+    [ "makespan"; "slack"; "makespan"; "slack"; "makespan" ]
+    (Array.to_list (Array.map Objective.name o.Codar.Portfolio.objectives));
+  Alcotest.(check string) "depth metric recorded" "depth"
+    (Codar.Portfolio.metric_name o.Codar.Portfolio.metric);
+  (* under the depth metric the winner minimises metric_scores *)
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "winner minimal under metric" true
+        (o.Codar.Portfolio.metric_scores.(o.Codar.Portfolio.winner) <= s))
+    o.Codar.Portfolio.metric_scores
+
+let test_portfolio_esp_needs_calibration () =
+  let maqam =
+    Arch.Maqam.make ~coupling:Arch.Devices.ibm_q20_tokyo
+      ~durations:Arch.Durations.uniform
+  in
+  let circuit = Workloads.Builders.qft 4 in
+  let initial = Arch.Layout.identity ~n_logical:4 ~n_physical:20 in
+  match
+    Codar.Portfolio.run ~restarts:2 ~metric:Codar.Portfolio.Esp ~maqam
+      ~initial circuit
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "esp metric without calibration must be rejected"
 
 (* --------------------------------------------------------- instrumentation *)
 
@@ -726,5 +1030,25 @@ let () =
           Alcotest.test_case "stats counters" `Quick test_stats_counters;
         ] );
       ( "swap_scorer",
-        [ QCheck_alcotest.to_alcotest prop_scorer_matches_scratch ] );
+        [
+          QCheck_alcotest.to_alcotest prop_scorer_matches_scratch;
+          QCheck_alcotest.to_alcotest prop_scorer_objective_scores;
+        ] );
+      ( "objective",
+        [
+          Alcotest.test_case "t2 issue policy" `Quick test_t2_issue_policy;
+          Alcotest.test_case "t2 on uniform = makespan" `Quick
+            test_t2_uniform_is_makespan;
+          Alcotest.test_case "bad objective rejected" `Quick
+            test_objective_validation;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "restart 0 is baseline" `Quick
+            test_portfolio_restart0_baseline;
+          Alcotest.test_case "mixed membership" `Quick
+            test_portfolio_mixed_membership;
+          Alcotest.test_case "esp needs calibration" `Quick
+            test_portfolio_esp_needs_calibration;
+        ] );
     ]

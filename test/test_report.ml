@@ -178,6 +178,8 @@ let route_record bench =
       durations = "sc";
       router = "codar";
       placement = "sabre";
+      objective = None;
+      metric = None;
       restarts = 4;
       seed = 0;
       collect_stats = true;

@@ -304,6 +304,19 @@ let test_hostile_frame_battery () =
       check_code "wrong-typed source" "bad_request" {|{"op":"route","bench":123}|};
       check_code "batch items wrong type" "bad_request"
         {|{"op":"batch","items":[1,2]}|};
+      (* the objective/metric vocabulary is validated before any routing *)
+      check_code "unknown objective" "bad_request"
+        {|{"op":"route","bench":"qft_4","objective":"bogus"}|};
+      check_code "objective is a number" "bad_request"
+        {|{"op":"route","bench":"qft_4","objective":5}|};
+      check_code "unknown metric" "bad_request"
+        {|{"op":"route","bench":"qft_4","router":"portfolio","metric":"speed"}|};
+      check_code "metric on a non-portfolio router" "bad_request"
+        {|{"op":"route","bench":"qft_4","router":"codar","metric":"esp"}|};
+      check_code "esp metric without calibration" "bad_request"
+        {|{"op":"route","bench":"qft_4","router":"portfolio","durations":"uniform","metric":"esp"}|};
+      check_code "objective list on plain codar" "bad_request"
+        {|{"op":"route","bench":"qft_4","router":"codar","objective":"makespan,t2"}|};
       (* ~4000 levels of nesting: a typed parse error, not a stack
          overflow or a dead connection *)
       let deep_list =

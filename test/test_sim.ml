@@ -338,6 +338,81 @@ let test_reliability_analytic () =
   Alcotest.(check (float 1e-9)) "analytic ESP" expected
     (Sim.Reliability.estimated_success ~calibration ~n_physical:2 r)
 
+let test_reliability_tokyo_vector () =
+  (* hand-computed vector on the shipped superconducting (Tokyo) preset:
+     H on q0 at [0,1), then SWAP q0<->q1 at [1,7) — the SWAP must cost
+     three two-qubit fidelities (decomposed as 3 CX) *)
+  let mk_event gate start duration =
+    { Schedule.Routed.gate; start; duration; inserted = false }
+  in
+  let r =
+    {
+      Schedule.Routed.events =
+        [ mk_event (Qc.Gate.h 0) 0 1; mk_event (Qc.Gate.swap 0 1) 1 6 ];
+      initial = Arch.Layout.identity ~n_logical:2 ~n_physical:2;
+      final = Arch.Layout.identity ~n_logical:2 ~n_physical:2;
+      makespan = 7;
+      n_logical = 2;
+    }
+  in
+  let calibration = Arch.Calibration.superconducting in
+  (* preset values pinned here on purpose: changing them must wake this
+     test up, because BENCH_PR8.json and the t2 issue policy depend on them *)
+  Alcotest.(check (float 0.)) "preset f1" 0.997
+    (Arch.Calibration.one_qubit_fidelity calibration);
+  Alcotest.(check (float 0.)) "preset f2" 0.965
+    (Arch.Calibration.two_qubit_fidelity calibration);
+  Alcotest.(check (float 0.)) "preset t1" 435.
+    (Arch.Calibration.t1_cycles calibration);
+  Alcotest.(check (float 0.)) "preset t2" 435.
+    (Arch.Calibration.t2_cycles calibration);
+  (* t1 = t2 = 435 => 1/Tphi = 1/435 - 1/870 = 1/870 *)
+  let dec t = exp (-.t /. 435.) *. exp (-.t /. 870.) in
+  let expected = 0.997 *. (0.965 ** 3.) *. dec 7. *. dec 6. in
+  Alcotest.(check (float 1e-12)) "tokyo ESP vector" expected
+    (Sim.Reliability.estimated_success ~calibration ~n_physical:2 r)
+
+let test_reliability_untouched_qubits_free () =
+  (* a qubit never touched by any gate contributes no decoherence, however
+     many physical qubits the device has *)
+  let mk_event gate start duration =
+    { Schedule.Routed.gate; start; duration; inserted = false }
+  in
+  let r n_physical =
+    {
+      Schedule.Routed.events = [ mk_event (Qc.Gate.h 0) 0 1 ];
+      initial = Arch.Layout.identity ~n_logical:1 ~n_physical;
+      final = Arch.Layout.identity ~n_logical:1 ~n_physical;
+      makespan = 1;
+      n_logical = 1;
+    }
+  in
+  let calibration = Arch.Calibration.superconducting in
+  let esp n =
+    Sim.Reliability.estimated_success ~calibration ~n_physical:n (r n)
+  in
+  Alcotest.(check (float 1e-15)) "spectators are free" (esp 2) (esp 20)
+
+let test_calibration_for_durations () =
+  (* every calibrated profile resolves to the preset of the same name;
+     uniform has no calibration and must say so (the t2 objective and the
+     record's esp field both key off this) *)
+  List.iter
+    (fun d ->
+      match Arch.Calibration.for_durations d with
+      | Some c ->
+        Alcotest.(check string) "preset name matches profile"
+          (Arch.Durations.name d) (Arch.Calibration.name c)
+      | None ->
+        Alcotest.failf "no calibration preset for %s" (Arch.Durations.name d))
+    [
+      Arch.Durations.superconducting;
+      Arch.Durations.ion_trap;
+      Arch.Durations.neutral_atom;
+    ];
+  Alcotest.(check bool) "uniform is uncalibrated" true
+    (Arch.Calibration.for_durations Arch.Durations.uniform = None)
+
 let test_reliability_direction () =
   (* a shorter schedule with the same gates must score higher *)
   let calibration = Arch.Calibration.superconducting in
@@ -436,6 +511,12 @@ let () =
       ( "reliability",
         [
           Alcotest.test_case "analytic" `Quick test_reliability_analytic;
+          Alcotest.test_case "tokyo vector" `Quick
+            test_reliability_tokyo_vector;
+          Alcotest.test_case "spectators free" `Quick
+            test_reliability_untouched_qubits_free;
+          Alcotest.test_case "calibration lookup" `Quick
+            test_calibration_for_durations;
           Alcotest.test_case "direction" `Quick test_reliability_direction;
         ] );
       ( "equiv",
