@@ -886,8 +886,15 @@ let fuzz_cmd =
                    the result must still pass verification and statevector \
                    equivalence.")
   in
+  let min_gates =
+    Arg.(value & opt (some int) None
+         & info [ "min-gates" ] ~docv:"N"
+             ~doc:"Floor each sampled case's body-gate count at $(docv) \
+                   (width unchanged) — drives wide devices through \
+                   full-size circuits (the large-scale tier).")
+  in
   let run cases seed max_qubits archs durations sim_max_qubits shrink_budget
-      json corpus replay faults objectives =
+      json corpus replay faults objectives min_gates =
     guard @@ fun () ->
     match replay with
     | Some dir ->
@@ -936,6 +943,7 @@ let fuzz_cmd =
           corpus_dir = corpus;
           faults;
           objectives;
+          min_gates;
         }
       in
       let result = Fuzz.Harness.run cfg in
@@ -995,18 +1003,29 @@ let fuzz_cmd =
     Term.(
       const run $ cases $ seed $ max_qubits $ archs $ durations
       $ sim_max_qubits $ shrink_budget $ json $ corpus $ replay $ faults
-      $ objectives)
+      $ objectives $ min_gates)
 
 let devices_cmd =
   let run () =
     List.iter
       (fun c ->
-        Fmt.pr "%-22s %3d qubits  %3d edges  coords:%b@." (Arch.Coupling.name c)
+        Fmt.pr "%-22s %3d qubits  %4d edges  coords:%b  %s@."
+          (Arch.Coupling.name c)
           (Arch.Coupling.n_qubits c)
           (List.length (Arch.Coupling.edges c))
-          (Arch.Coupling.coords c <> None))
+          (Arch.Coupling.coords c <> None)
+          (match Arch.Coupling.backend c with
+          | Arch.Coupling.Dense -> "dense"
+          | Arch.Coupling.Sparse -> "sparse"))
       (Arch.Devices.evaluation_devices
-      @ [ Arch.Devices.ibm_q5; Arch.Devices.linear 8; Arch.Devices.fully_connected 11 ])
+      @ [
+          Arch.Devices.ibm_q5;
+          Arch.Devices.linear 8;
+          Arch.Devices.fully_connected 11;
+          Arch.Devices.grid ~rows:10 ~cols:10;
+          Arch.Devices.heavy_hex ~distance:7;
+          Arch.Devices.heavy_hex ~distance:13;
+        ])
   in
   Cmd.v (Cmd.info "devices" ~doc:"List known devices.") Term.(const run $ const ())
 
@@ -1016,7 +1035,14 @@ let benchmarks_cmd =
       (fun (e : Workloads.Suite.entry) ->
         Fmt.pr "%-16s %-8s %3d qubits@." e.name e.family e.n_qubits)
       Workloads.Suite.all;
-    Fmt.pr "total: %d benchmarks@." (List.length Workloads.Suite.all)
+    Fmt.pr "total: %d benchmarks@." (List.length Workloads.Suite.all);
+    List.iter
+      (fun (e : Workloads.Suite.entry) ->
+        Fmt.pr "%-16s %-8s %3d qubits  (large tier)@." e.name e.family
+          e.n_qubits)
+      Workloads.Suite.large;
+    Fmt.pr "large tier: %d extra benchmarks@."
+      (List.length Workloads.Suite.large)
   in
   Cmd.v (Cmd.info "benchmarks" ~doc:"List the 71-benchmark suite.")
     Term.(const run $ const ())

@@ -125,6 +125,54 @@ let sycamore_54 =
   done;
   Coupling.make ~coords ~name:"google-q54-sycamore" ~n !edges
 
+(* IBM heavy-hex lattice for code distance d (odd, >= 3): a d×d data-qubit
+   grid whose horizontal links are subdivided by d(d-1) flag qubits and
+   whose vertical links are subdivided by (d²-1)/2 syndrome qubits —
+   n = (5d² - 2d - 1)/2 qubits and 3d² - 2d - 1 couplers, max degree 3.
+   Vertical connectors alternate columns per row pair (even pairs on even
+   columns, odd pairs on odd columns plus the right boundary): that
+   placement lands exactly on the code's syndrome count while keeping
+   every data qubit at degree <= 3 and the lattice connected. d = 7, 9,
+   11, 13 give the 115-, 193-, 291- and 409-qubit devices of the
+   large-scale tier. *)
+let heavy_hex ~distance =
+  let d = distance in
+  if d < 3 || d mod 2 = 0 then
+    invalid_arg "Devices.heavy_hex: distance must be odd and >= 3";
+  let n_data = d * d in
+  let n_flag = d * (d - 1) in
+  let n = ((5 * d * d) - (2 * d) - 1) / 2 in
+  let data i j = (i * d) + j in
+  let flag i j = n_data + (i * (d - 1)) + j in
+  let coords = Array.make n (0., 0.) in
+  let edges = ref [] in
+  (* horizontal data–flag–data chains per row *)
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      coords.(data i j) <- (float_of_int (2 * j), float_of_int (2 * i))
+    done;
+    for j = 0 to d - 2 do
+      coords.(flag i j) <- (float_of_int ((2 * j) + 1), float_of_int (2 * i));
+      edges := (data i j, flag i j) :: (flag i j, data i (j + 1)) :: !edges
+    done
+  done;
+  (* vertical data–syndrome–data bridges per row pair *)
+  let cols i =
+    if i mod 2 = 0 then List.init ((d + 1) / 2) (fun k -> 2 * k)
+    else List.init ((d - 1) / 2) (fun k -> (2 * k) + 1) @ [ d - 1 ]
+  in
+  let syn = ref (n_data + n_flag) in
+  for i = 0 to d - 2 do
+    List.iter
+      (fun j ->
+        coords.(!syn) <- (float_of_int (2 * j), float_of_int ((2 * i) + 1));
+        edges := (data i j, !syn) :: (!syn, data (i + 1) j) :: !edges;
+        incr syn)
+      (cols i)
+  done;
+  assert (!syn = n);
+  Coupling.make ~coords ~name:(Fmt.str "heavy-hex-%d" d) ~n !edges
+
 let evaluation_devices =
   [ ibm_q16_melbourne; enfield_6x6; ibm_q20_tokyo; sycamore_54 ]
 
@@ -147,6 +195,10 @@ let by_name s =
       Option.map ring (int_of_string_opt (suffix "ring-"))
     else if prefixed "full-" then
       Option.map fully_connected (int_of_string_opt (suffix "full-"))
+    else if prefixed "heavy-hex-" then (
+      match int_of_string_opt (suffix "heavy-hex-") with
+      | Some d when d >= 3 && d mod 2 = 1 -> Some (heavy_hex ~distance:d)
+      | Some _ | None -> None)
     else if prefixed "grid-" then
       match String.split_on_char 'x' (suffix "grid-") with
       | [ r; c ] -> (

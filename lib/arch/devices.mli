@@ -35,6 +35,15 @@ val sycamore_54 : Coupling.t
 (** Google's 54-qubit Sycamore: 9 rows × 6 columns on a diagonal square
     lattice, each qubit coupled to up to four diagonal neighbours. *)
 
+val heavy_hex : distance:int -> Coupling.t
+(** IBM heavy-hex lattice for code distance [d] (odd, >= 3):
+    [n = (5d² - 2d - 1)/2] qubits (d² data + d(d-1) flags + (d²-1)/2
+    syndromes), [3d² - 2d - 1] couplers, maximum degree 3, connected,
+    with planar coordinates. [d = 7, 9, 11, 13] give the 115-, 193-,
+    291- and 409-qubit devices of the large-scale tier (all on the
+    sparse distance backend). Raises [Invalid_argument] on an even or
+    too-small distance. *)
+
 val evaluation_devices : Coupling.t list
 (** The four architectures of Fig. 8: IBM Q16 Melbourne, Enfield 6×6,
     IBM Q20 Tokyo and Google Q54 Sycamore, in the paper's order. *)
@@ -42,4 +51,6 @@ val evaluation_devices : Coupling.t list
 val by_name : string -> Coupling.t option
 (** Lookup for the CLI: ["melbourne"], ["tokyo"], ["6x6"] / ["enfield"],
     ["sycamore"], ["q5"], ["linear-<n>"], ["ring-<n>"], ["grid-<r>x<c>"],
-    ["full-<n>"]. *)
+    ["full-<n>"], ["heavy-hex-<d>"] (d odd, >= 3). Malformed names (even
+    heavy-hex distances included) are [None], which the CLI maps to its
+    usage exit code. *)

@@ -9,6 +9,7 @@ type config = {
   corpus_dir : string option;
   faults : int option;
   objectives : bool;
+  min_gates : int option;
 }
 
 let default_devices =
@@ -30,6 +31,7 @@ let default_config =
     corpus_dir = None;
     faults = None;
     objectives = false;
+    min_gates = None;
   }
 
 type case_failure = {
@@ -151,8 +153,28 @@ let run_case cfg ~durations ~index =
   let case_seed = Gen.case_seed ~run_seed:cfg.seed ~index in
   let rng = Random.State.make [| case_seed |] in
   let gen_cfg = Gen.sample_config rng ~max_qubits:(min cfg.max_qubits width) in
+  (* --min-gates: stretch every sampled case to at least [g] body gates,
+     the large-scale-tier knob (width stays as sampled, so small shapes
+     still rotate through; only the gate count is floored) *)
+  let gen_cfg =
+    match cfg.min_gates with
+    | None -> gen_cfg
+    | Some g -> { gen_cfg with Gen.gates = max gen_cfg.Gen.gates g }
+  in
   let circuit = Gen.circuit_rng rng gen_cfg in
-  let report = Oracle.check ~sim_max_qubits:cfg.sim_max_qubits ~maqam circuit in
+  (* The layered A* baseline explodes on large-tier cases (its per-layer
+     expansion bound is paid thousands of times on a 10k-gate circuit),
+     so big cases run the other three routers — the codar-vs-reference
+     differential, the core oracle, is unaffected. A*'s behavior is
+     covered by every small-tier case. *)
+  let routers =
+    if Qc.Circuit.length circuit * width >= 200_000 then
+      [ Oracle.Codar; Oracle.Sabre; Oracle.Reference ]
+    else Oracle.all_routers
+  in
+  let report =
+    Oracle.check ~sim_max_qubits:cfg.sim_max_qubits ~routers ~maqam circuit
+  in
   (* with --objectives, every case additionally routes under one rotated
      non-makespan objective and must still clear verify + sim-equiv (the
      makespan objective is already covered by the Codar router pass) *)
@@ -314,6 +336,8 @@ let summary_json (r : result) =
             ( "faults",
               match r.config.faults with Some s -> Int s | None -> Null );
             ("objectives", Bool r.config.objectives);
+            ( "min_gates",
+              match r.config.min_gates with Some g -> Int g | None -> Null );
           ] );
       ("ran", Int r.ran);
       ("passed", Int (r.ran - List.length r.failed));

@@ -30,6 +30,12 @@ type config = {
           non-makespan objective (slack, depth, t2 by case index) via
           {!Oracle.check_objective} — verify + statevector equivalence
           must still hold *)
+  min_gates : int option;
+      (** floor on each sampled case's body-gate count (width is
+          unchanged) — the large-scale-tier knob: pairing a wide device
+          with e.g. [Some 10_000] drives the sparse distance backend
+          through full-size circuits while staying reproducible from the
+          same two integers *)
 }
 
 val default_devices : (string * Arch.Coupling.t) list
@@ -39,7 +45,8 @@ val default_devices : (string * Arch.Coupling.t) list
 val default_config : config
 (** 200 cases, seed 7, max 5 qubits, {!default_devices},
     superconducting durations, sim bound 10, shrink budget 300, no
-    corpus directory, no fault injection, no objective rotation. *)
+    corpus directory, no fault injection, no objective rotation, no
+    gate-count floor. *)
 
 type case_failure = {
   index : int;

@@ -13,9 +13,11 @@
     invariants each preserves. *)
 
 type ctx = {
-  n : int;  (** physical qubit count; [dist] is row-major [n*n] *)
-  dist : int array;
-      (** live distance table, [dist.(u*n+v)]; [-1] = unreachable *)
+  n : int;  (** physical qubit count *)
+  dist_row : int -> int array;
+      (** [dist_row p] is qubit [p]'s distance row ([n] entries, [-1] =
+          unreachable) — provider-memoised, identical on the dense and
+          sparse backends; fetch once per endpoint, then index *)
   incident : int -> int list;
       (** pair indices incident to a physical qubit, this cycle *)
   pair_fst : int -> int;  (** current physical endpoints of a pair index *)

@@ -101,6 +101,23 @@ let all =
   in
   List.stable_sort (fun a b -> Stdlib.compare a.n_qubits b.n_qubits) entries
 
-let find name = List.find_opt (fun e -> e.name = name) all
+(* Large-scale tier (PR 10): circuits sized for the 100–400-qubit sparse
+   devices, kept out of [all] so the paper's 71-benchmark envelope stays
+   pinned. Stretches to ~100k gates; everything is lazy, so nothing here
+   costs anything until a bench/fuzz run asks for it. *)
+let large =
+  let entries =
+    [
+      ghz 128;
+      qft 64;
+      bv 128;
+      qaoa 100 12;
+      rand "rand_100_20k" 100 20_000 21;
+      rand "rand_128_100k" 128 100_000 23;
+    ]
+  in
+  List.stable_sort (fun a b -> Stdlib.compare a.n_qubits b.n_qubits) entries
+
+let find name = List.find_opt (fun e -> e.name = name) (all @ large)
 
 let fitting ~max_qubits = List.filter (fun e -> e.n_qubits <= max_qubits) all

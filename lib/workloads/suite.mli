@@ -16,7 +16,15 @@ type entry = {
 val all : entry list
 (** Exactly 71 entries, in ascending qubit order (as plotted in Fig. 8). *)
 
+val large : entry list
+(** The large-scale tier: 64–128-qubit circuits up to ~100 000 gates
+    (GHZ-128, QFT-64, BV-128, a 12-layer QAOA-100 and two random
+    circuits), sized for the 100–400-qubit sparse-backend devices. Kept
+    separate so {!all} stays at the paper's 71 benchmarks; ascending
+    qubit order. *)
+
 val find : string -> entry option
+(** Searches {!all} and {!large}. *)
 
 val fitting : max_qubits:int -> entry list
 (** The entries with [n_qubits <= max_qubits] — e.g. [fitting ~max_qubits:16]

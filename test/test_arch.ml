@@ -137,6 +137,166 @@ let prop_distance_metric =
       done;
       !ok)
 
+(* ---------------------------------------------- sparse distance provider *)
+
+(* Random couplings up to 200 qubits: a random spanning tree (with some
+   child edges optionally dropped, so multi-component graphs — and their
+   -1 sentinels — are generated too) plus random extra edges. *)
+let big_graph_gen =
+  let open QCheck.Gen in
+  let* n = int_range 2 200 in
+  let* tree =
+    flatten_l
+      (List.init (n - 1) (fun i ->
+           let* p = int_range 0 i in
+           return (p, i + 1)))
+  in
+  let* split = bool in
+  let* dropped =
+    if split then list_size (int_range 1 3) (int_range 1 (n - 1))
+    else return []
+  in
+  let tree = List.filter (fun (_, c) -> not (List.mem c dropped)) tree in
+  let* extra =
+    list_size
+      (int_range 0 (min 40 n))
+      (let* a = int_range 0 (n - 1) in
+       let* b = int_range 0 (n - 1) in
+       return (a, b))
+  in
+  let extra =
+    List.filter_map
+      (fun (a, b) ->
+        if a = b then None
+        else
+          let e = (min a b, max a b) in
+          if List.exists (fun (x, y) -> (min x y, max x y) = e) tree then
+            None
+          else Some e)
+      extra
+    |> List.sort_uniq Stdlib.compare
+  in
+  return (n, tree @ extra)
+
+let big_graph_arb =
+  QCheck.make
+    ~print:(fun (n, es) ->
+      Fmt.str "n=%d edges=%a" n
+        Fmt.(list ~sep:(Fmt.any ";") (pair ~sep:(Fmt.any ",") int int))
+        es)
+    big_graph_gen
+
+(* The tentpole equivalence: on any coupling — connected or not — the
+   sparse provider's rows hold exactly the integers the dense table
+   would, -1 unreachable sentinel included. Row-cache eviction churns
+   throughout (the cap is 64, n goes to 200), so the bounded cache is
+   exercised too. *)
+let prop_sparse_equals_dense =
+  QCheck.Test.make ~count:100
+    ~name:"sparse provider rows = dense matrix rows (incl. -1 sentinel)"
+    big_graph_arb
+    (fun (n, edges) ->
+      let dense =
+        Arch.Coupling.make ~backend:Arch.Coupling.Dense ~name:"d" ~n edges
+      in
+      let sparse =
+        Arch.Coupling.make ~backend:Arch.Coupling.Sparse ~name:"s" ~n edges
+      in
+      let ok = ref true in
+      (* Point queries on a virgin sparse twin first: with no row resident,
+         distance_raw must answer through the early-exit point BFS, and the
+         integers must match the dense table exactly. *)
+      let virgin =
+        Arch.Coupling.make ~backend:Arch.Coupling.Sparse ~name:"v" ~n edges
+      in
+      for a = 0 to n - 1 do
+        let b = (a * 7 + 3) mod n in
+        if Arch.Coupling.distance_raw virgin a b
+           <> Arch.Coupling.distance_raw dense a b
+        then ok := false
+      done;
+      for a = 0 to n - 1 do
+        if Arch.Coupling.distance_row dense a
+           <> Arch.Coupling.distance_row sparse a
+        then ok := false
+      done;
+      if Arch.Coupling.rows_cached sparse > Arch.Coupling.dense_limit then
+        ok := false;
+      if Arch.Coupling.diameter dense <> Arch.Coupling.diameter sparse then
+        ok := false;
+      if Arch.Coupling.connected dense <> Arch.Coupling.connected sparse then
+        ok := false;
+      !ok)
+
+(* Landmark/coordinate estimates must be admissible: never above the true
+   distance on connected pairs, 0 exactly on the diagonal. *)
+let prop_lower_bound_admissible =
+  QCheck.Test.make ~count:60
+    ~name:"distance_lower_bound is an admissible estimate" big_graph_arb
+    (fun (n, edges) ->
+      let g =
+        Arch.Coupling.make ~backend:Arch.Coupling.Sparse ~name:"s" ~n edges
+      in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        let row = Arch.Coupling.distance_row g a in
+        for b = 0 to n - 1 do
+          let lb = Arch.Coupling.distance_lower_bound g a b in
+          if a = b then begin
+            if lb <> 0 then ok := false
+          end
+          else if row.(b) >= 0 then
+            if lb < 1 || lb > row.(b) then ok := false
+        done
+      done;
+      !ok)
+
+let test_sparse_backend_selection () =
+  (* the threshold: 64 stays dense (Sycamore included), 65 goes sparse *)
+  Alcotest.(check bool) "sycamore dense" true
+    (Arch.Coupling.backend Arch.Devices.sycamore_54 = Arch.Coupling.Dense);
+  Alcotest.(check bool) "linear-64 dense" true
+    (Arch.Coupling.backend (Arch.Devices.linear 64) = Arch.Coupling.Dense);
+  Alcotest.(check bool) "linear-65 sparse" true
+    (Arch.Coupling.backend (Arch.Devices.linear 65) = Arch.Coupling.Sparse);
+  (* a sparse device refuses to materialise the O(V^2) table *)
+  Alcotest.(check bool) "distance_table raises on sparse" true
+    (try
+       ignore (Arch.Coupling.distance_table (Arch.Devices.linear 65));
+       false
+     with Invalid_argument _ -> true);
+  (* the row cache stays bounded no matter how many sources are touched *)
+  let g = Arch.Devices.linear 150 in
+  for src = 0 to 149 do
+    ignore (Arch.Coupling.distance_row g src)
+  done;
+  Alcotest.(check bool) "row cache bounded" true
+    (Arch.Coupling.rows_cached g <= Arch.Coupling.dense_limit);
+  Alcotest.(check bool) "footprint below dense" true
+    (Arch.Coupling.dist_bytes g < 150 * 150 * (Sys.word_size / 8));
+  (* evicted rows recompute to the same values *)
+  Alcotest.(check int) "recomputed row agrees" 149
+    (Arch.Coupling.distance_row g 0).(149)
+
+let test_sparse_disconnected () =
+  (* deterministic multi-component check on a >dense_limit device *)
+  let edges = List.init 48 (fun i -> (i, i + 1)) in
+  let edges = edges @ List.init 49 (fun i -> (50 + i, 51 + i)) in
+  let g = Arch.Coupling.make ~name:"two-islands-100" ~n:100 edges in
+  Alcotest.(check bool) "sparse" true
+    (Arch.Coupling.backend g = Arch.Coupling.Sparse);
+  Alcotest.(check bool) "not connected" false (Arch.Coupling.connected g);
+  Alcotest.(check int) "cross-component raw sentinel"
+    Arch.Coupling.unreachable_distance
+    (Arch.Coupling.distance_raw g 0 99);
+  Alcotest.(check bool) "cross-component distance raises" true
+    (try
+       ignore (Arch.Coupling.distance g 0 99);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "intra-component" 48 (Arch.Coupling.distance g 0 48);
+  Alcotest.(check int) "other island" 49 (Arch.Coupling.distance g 50 99)
+
 (* ---------------------------------------------------------------- devices *)
 
 let test_device_inventory () =
@@ -174,6 +334,56 @@ let test_tokyo_diagonals () =
   Alcotest.(check bool) "diagonal 2-6" true (Arch.Coupling.adjacent t 2 6);
   Alcotest.(check bool) "no diagonal 0-6" false (Arch.Coupling.adjacent t 0 6)
 
+let test_heavy_hex () =
+  (* the IBM heavy-hex accounting, per code distance: d² data qubits,
+     d(d-1) flags, (d²-1)/2 syndromes; 3d² - 2d - 1 couplers *)
+  List.iter
+    (fun d ->
+      let c = Arch.Devices.heavy_hex ~distance:d in
+      let n = ((5 * d * d) - (2 * d) - 1) / 2 in
+      Alcotest.(check string)
+        (Fmt.str "d=%d name" d)
+        (Fmt.str "heavy-hex-%d" d)
+        (Arch.Coupling.name c);
+      Alcotest.(check int) (Fmt.str "d=%d qubits" d) n
+        (Arch.Coupling.n_qubits c);
+      Alcotest.(check int)
+        (Fmt.str "d=%d edges" d)
+        ((3 * d * d) - (2 * d) - 1)
+        (List.length (Arch.Coupling.edges c));
+      Alcotest.(check bool) (Fmt.str "d=%d connected" d) true
+        (Arch.Coupling.connected c);
+      Alcotest.(check bool) (Fmt.str "d=%d coords" d) true
+        (Arch.Coupling.coords c <> None);
+      for q = 0 to n - 1 do
+        if Arch.Coupling.degree c q > 3 then
+          Alcotest.failf "heavy-hex-%d: qubit %d has degree %d > 3" d q
+            (Arch.Coupling.degree c q)
+      done)
+    [ 3; 5; 7; 9; 11; 13 ];
+  (* the published large-tier sizes *)
+  let size d = Arch.Coupling.n_qubits (Arch.Devices.heavy_hex ~distance:d) in
+  Alcotest.(check int) "d=7 is 115" 115 (size 7);
+  Alcotest.(check int) "d=9 is 193" 193 (size 9);
+  Alcotest.(check int) "d=11 is 291" 291 (size 11);
+  Alcotest.(check int) "d=13 is 409" 409 (size 13);
+  (* backend: d=3 (19 qubits) stays dense, the big ones go sparse *)
+  Alcotest.(check bool) "d=3 dense" true
+    (Arch.Coupling.backend (Arch.Devices.heavy_hex ~distance:3)
+    = Arch.Coupling.Dense);
+  Alcotest.(check bool) "d=7 sparse" true
+    (Arch.Coupling.backend (Arch.Devices.heavy_hex ~distance:7)
+    = Arch.Coupling.Sparse);
+  let rejects d =
+    try
+      ignore (Arch.Devices.heavy_hex ~distance:d);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "even distance rejected" true (rejects 4);
+  Alcotest.(check bool) "d=1 rejected" true (rejects 1);
+  Alcotest.(check bool) "d=0 rejected" true (rejects 0)
+
 let test_by_name () =
   let is name expect =
     match Arch.Devices.by_name name with
@@ -188,8 +398,23 @@ let test_by_name () =
   is "ring-6" "ring-6";
   is "grid-3x4" "grid-3x4";
   is "full-9" "full-9";
+  is "heavy-hex-7" "heavy-hex-7";
+  is "heavy-hex-13" "heavy-hex-13";
+  is "grid-20x20" "grid-20x20";
   Alcotest.(check bool) "unknown" true (Arch.Devices.by_name "nope" = None);
-  Alcotest.(check bool) "bad arity" true (Arch.Devices.by_name "grid-3" = None)
+  Alcotest.(check bool) "bad arity" true (Arch.Devices.by_name "grid-3" = None);
+  Alcotest.(check bool) "even heavy-hex" true
+    (Arch.Devices.by_name "heavy-hex-4" = None);
+  Alcotest.(check bool) "tiny heavy-hex" true
+    (Arch.Devices.by_name "heavy-hex-1" = None);
+  Alcotest.(check bool) "garbled heavy-hex" true
+    (Arch.Devices.by_name "heavy-hex-x" = None);
+  (* names over dense_limit resolve onto the sparse backend *)
+  (match Arch.Devices.by_name "grid-20x20" with
+  | Some c ->
+    Alcotest.(check bool) "grid-20x20 sparse" true
+      (Arch.Coupling.backend c = Arch.Coupling.Sparse)
+  | None -> Alcotest.fail "grid-20x20 not found")
 
 let test_ring_grid () =
   let r = Arch.Devices.ring 6 in
@@ -429,11 +654,21 @@ let () =
           Alcotest.test_case "coords" `Quick test_coords;
           QCheck_alcotest.to_alcotest prop_distance_metric;
         ] );
+      ( "provider",
+        [
+          Alcotest.test_case "backend selection" `Quick
+            test_sparse_backend_selection;
+          Alcotest.test_case "sparse disconnected" `Quick
+            test_sparse_disconnected;
+          QCheck_alcotest.to_alcotest prop_sparse_equals_dense;
+          QCheck_alcotest.to_alcotest prop_lower_bound_admissible;
+        ] );
       ( "devices",
         [
           Alcotest.test_case "inventory" `Quick test_device_inventory;
           Alcotest.test_case "sycamore shape" `Quick test_sycamore_shape;
           Alcotest.test_case "tokyo diagonals" `Quick test_tokyo_diagonals;
+          Alcotest.test_case "heavy-hex" `Quick test_heavy_hex;
           Alcotest.test_case "by_name" `Quick test_by_name;
           Alcotest.test_case "ring/grid/full" `Quick test_ring_grid;
         ] );

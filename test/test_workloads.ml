@@ -330,6 +330,56 @@ let test_big_benchmark_size () =
       (Qc.Circuit.length (Lazy.force e.circuit))
   | None -> Alcotest.fail "rand_16_30k missing"
 
+(* ------------------------------------------------------------- large tier *)
+
+let test_large_tier_inventory () =
+  let large = Workloads.Suite.large in
+  Alcotest.(check int) "six large benchmarks" 6 (List.length large);
+  (* [all] must stay the paper's pinned 71-benchmark envelope: the large
+     tier is a separate list, not an extension *)
+  Alcotest.(check int) "all still 71" 71 (List.length Workloads.Suite.all);
+  let names = List.map (fun (e : Workloads.Suite.entry) -> e.name) large in
+  Alcotest.(check int) "unique names" 6
+    (List.length (List.sort_uniq String.compare names));
+  List.iter
+    (fun (e : Workloads.Suite.entry) ->
+      Alcotest.(check bool)
+        (e.name ^ ": at least 64 qubits")
+        true (e.n_qubits >= 64);
+      Alcotest.(check bool)
+        (e.name ^ ": not in the pinned 71")
+        true
+        (not
+           (List.exists
+              (fun (x : Workloads.Suite.entry) -> x.name = e.name)
+              Workloads.Suite.all)))
+    large;
+  let rec ascending = function
+    | (a : Workloads.Suite.entry) :: (b :: _ as rest) ->
+      a.n_qubits <= b.n_qubits && ascending rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "sorted by qubit count" true (ascending large);
+  (* fitting stays an [all]-only view: no large entry leaks in *)
+  Alcotest.(check int) "fitting 128 = all" 71
+    (List.length (Workloads.Suite.fitting ~max_qubits:128))
+
+let test_large_tier_find () =
+  (match Workloads.Suite.find "ghz_128" with
+  | Some e -> Alcotest.(check int) "ghz_128 width" 128 e.n_qubits
+  | None -> Alcotest.fail "ghz_128 missing");
+  (match Workloads.Suite.find "rand_128_100k" with
+  | Some e ->
+    Alcotest.(check int) "rand_128_100k width" 128 e.n_qubits;
+    Alcotest.(check int) "100k gates" 100_000
+      (Qc.Circuit.length (Lazy.force e.circuit))
+  | None -> Alcotest.fail "rand_128_100k missing");
+  match Workloads.Suite.find "qft_64" with
+  | Some e ->
+    Alcotest.(check int) "qft_64 width" 64
+      (Qc.Circuit.n_qubits (Lazy.force e.circuit))
+  | None -> Alcotest.fail "qft_64 missing"
+
 (* ------------------------------------------------------------- algorithms *)
 
 let test_algorithms () =
@@ -375,6 +425,11 @@ let () =
           Alcotest.test_case "find/force" `Quick test_suite_find_and_force;
           Alcotest.test_case "widths agree" `Quick test_suite_widths_agree;
           Alcotest.test_case "30k gates" `Slow test_big_benchmark_size;
+        ] );
+      ( "large tier",
+        [
+          Alcotest.test_case "inventory" `Quick test_large_tier_inventory;
+          Alcotest.test_case "find/force" `Slow test_large_tier_find;
         ] );
       ("algorithms", [ Alcotest.test_case "seven" `Quick test_algorithms ]);
     ]
